@@ -1,0 +1,85 @@
+package dynnoffload
+
+import (
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow.
+func TestPublicAPIQuickstart(t *testing.T) {
+	model := NewTreeLSTM(TreeLSTMConfig{Levels: 4, Hidden: 64, SeqLen: 8, Batch: 4, Seed: 1})
+	plat := RTXPlatform().WithMemory(MiB(16))
+
+	sys, err := NewSystem(SystemConfig{
+		Model:       model,
+		Platform:    plat,
+		PilotConfig: PilotConfig{Neurons: 48, Epochs: 6, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := GenerateSamples(5, 500, 8, 32)
+	if _, err := sys.TrainPilot(corpus[:400]); err != nil {
+		t.Fatal(err)
+	}
+	acc, mis, err := sys.PilotAccuracy(corpus[400:450])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 || mis < 0 {
+		t.Errorf("bad accuracy report: %v %d", acc, mis)
+	}
+	rep, err := sys.TrainEpoch(corpus[450:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != 50 || rep.Breakdown.TotalNS() <= 0 {
+		t.Errorf("bad epoch report: %+v", rep)
+	}
+
+	// Baselines run on the same system.
+	sample := corpus[499]
+	for _, system := range []BaselineSystem{PyTorch, UVM, DTR} {
+		if _, err := sys.Baseline(system, sample); err != nil {
+			t.Logf("%s: %v (infeasibility is a valid outcome)", system, err)
+		}
+	}
+	if _, err := sys.Baseline("nope", sample); err == nil {
+		t.Error("unknown system must error")
+	}
+
+	tr, err := sys.Trace(sample)
+	if err != nil || len(tr.Records) == 0 {
+		t.Fatalf("Trace: %v", err)
+	}
+	blocks, err := sys.Blocks(sample)
+	if err != nil || len(blocks) == 0 {
+		t.Fatalf("Blocks: %v", err)
+	}
+}
+
+func TestTrainEpochRequiresPilot(t *testing.T) {
+	model := NewVarLSTM(VarLSTMConfig{Hidden: 16, Batch: 1, Seed: 1})
+	sys, err := NewSystem(SystemConfig{Model: model, Platform: RTXPlatform()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.TrainEpoch(GenerateSamples(1, 2, 8, 16)); err == nil {
+		t.Error("TrainEpoch without a pilot must error")
+	}
+}
+
+func TestNewSystemRequiresModel(t *testing.T) {
+	if _, err := NewSystem(SystemConfig{Platform: RTXPlatform()}); err == nil {
+		t.Error("nil model must error")
+	}
+}
+
+func TestZooRoundTrip(t *testing.T) {
+	if len(Zoo()) != 9 {
+		t.Errorf("zoo size %d", len(Zoo()))
+	}
+	m, err := ZooModel("AlphaFold", 1, 1)
+	if err != nil || m.Name() != "AlphaFold" {
+		t.Fatalf("ZooModel: %v", err)
+	}
+}

@@ -1,0 +1,232 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§VI). Each benchmark regenerates its artifact through
+// the shared drivers in internal/expt and logs the resulting rows, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces every experiment at CI scale. Paper-scale runs use
+// cmd/dynnbench with -train/-test/-neurons flags; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package dynnoffload
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dynnoffload/internal/expt"
+)
+
+// benchOpts are deliberately small: the benchmarks exist to regenerate every
+// artifact end-to-end, not to reach paper-scale sample counts.
+func benchOpts() expt.Options {
+	o := expt.DefaultOptions()
+	o.TrainSamples = 300
+	o.TestSamples = 100
+	o.Epochs = 8
+	o.Neurons = 96
+	return o
+}
+
+var (
+	wbOnce sync.Once
+	wb     *expt.Workbench
+	wbErr  error
+)
+
+// workbench builds the shared fixture (model contexts + trained pilot) once
+// across all benchmarks.
+func workbench(b *testing.B) *expt.Workbench {
+	b.Helper()
+	wbOnce.Do(func() {
+		wb, wbErr = expt.NewWorkbench(benchOpts())
+	})
+	if wbErr != nil {
+		b.Fatal(wbErr)
+	}
+	return wb
+}
+
+// logTable renders a driver's output into the benchmark log.
+func logTable(b *testing.B, t *expt.Table) {
+	b.Helper()
+	var sb strings.Builder
+	t.Fprint(&sb)
+	b.Log("\n" + sb.String())
+}
+
+func BenchmarkTableI(b *testing.B) {
+	var t *expt.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.TableI(2000, 42)
+	}
+	logTable(b, t)
+}
+
+func BenchmarkTableII(b *testing.B) {
+	var t *expt.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.TableII()
+	}
+	logTable(b, t)
+}
+
+func BenchmarkHeuristicStudy(b *testing.B) {
+	var t *expt.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.HeuristicStudy(1000, 42)
+	}
+	logTable(b, t)
+}
+
+func BenchmarkLargestModel(b *testing.B) {
+	var t *expt.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.LargestModel(256, 2)
+	}
+	logTable(b, t)
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	var t *expt.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.TableIII(24, 1024, 256)
+	}
+	logTable(b, t)
+}
+
+func BenchmarkFig7(b *testing.B) {
+	w := workbench(b)
+	b.ResetTimer()
+	var t *expt.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.Fig7(w)
+	}
+	logTable(b, t)
+}
+
+func BenchmarkFig8(b *testing.B) {
+	w := workbench(b)
+	b.ResetTimer()
+	var t *expt.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.Fig8(w)
+	}
+	logTable(b, t)
+}
+
+func BenchmarkFig9(b *testing.B) {
+	w := workbench(b)
+	b.ResetTimer()
+	var t *expt.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.Fig9(w)
+	}
+	logTable(b, t)
+}
+
+func BenchmarkFig10(b *testing.B) {
+	w := workbench(b)
+	b.ResetTimer()
+	var t *expt.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.Fig10(w)
+	}
+	logTable(b, t)
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	opts := benchOpts()
+	opts.TrainSamples = 250
+	opts.TestSamples = 80
+	var t *expt.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.TableIV(opts)
+	}
+	logTable(b, t)
+}
+
+func BenchmarkFig11(b *testing.B) {
+	opts := benchOpts()
+	opts.TrainSamples = 250
+	opts.TestSamples = 80
+	var t *expt.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.Fig11(opts)
+	}
+	logTable(b, t)
+}
+
+func BenchmarkFig12(b *testing.B) {
+	w := workbench(b)
+	b.ResetTimer()
+	var t *expt.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.Fig12(w)
+	}
+	logTable(b, t)
+}
+
+func BenchmarkMispredictions(b *testing.B) {
+	w := workbench(b)
+	b.ResetTimer()
+	var t *expt.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.Mispredictions(w)
+	}
+	logTable(b, t)
+}
+
+func BenchmarkMispredHandling(b *testing.B) {
+	w := workbench(b)
+	b.ResetTimer()
+	var t *expt.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.MispredHandling(w)
+	}
+	logTable(b, t)
+}
+
+func BenchmarkOverhead(b *testing.B) {
+	w := workbench(b)
+	b.ResetTimer()
+	var t *expt.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.Overhead(w)
+	}
+	logTable(b, t)
+}
+
+// --- Ablation benches (DESIGN.md §5.6): micro-costs of the runtime pieces ---
+
+func BenchmarkPilotInference(b *testing.B) {
+	w := workbench(b)
+	mb := w.Bench("Tree-LSTM")
+	ex := mb.Test[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Pilot.Resolve(ex)
+	}
+}
+
+func BenchmarkSentinelPartition(b *testing.B) {
+	w := workbench(b)
+	mb := w.Bench("var-BERT")
+	info := mb.Ctx.Paths[0]
+	budget := mb.Ctx.Budget
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		info.Analysis.Partition(budget)
+	}
+}
+
+func BenchmarkOffloadIteration(b *testing.B) {
+	w := workbench(b)
+	mb := w.Bench("var-BERT")
+	eng := w.Engine(mb)
+	info := mb.Ctx.Paths[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.SimulatePartition(info.Analysis, info.Blocks)
+	}
+}

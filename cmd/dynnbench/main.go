@@ -1,0 +1,131 @@
+// Command dynnbench regenerates the paper's tables and figures. Each
+// experiment prints the same rows/series the paper reports; EXPERIMENTS.md
+// records paper-vs-measured values.
+//
+// Usage:
+//
+//	dynnbench -exp table1            # one experiment
+//	dynnbench -exp all               # everything (slow)
+//	dynnbench -exp fig7 -train 6000  # paper-scale pilot training
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynnoffload/internal/expt"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1,table2,heuristic,largest,table3,fig7,fig8,fig9,fig10,table4,fig11,fig12,mispred,mispred-handling,overhead,all")
+		train   = flag.Int("train", 0, "pilot-training samples per model (default CI scale)")
+		test    = flag.Int("test", 0, "evaluation samples per model")
+		neurons = flag.Int("neurons", 0, "pilot hidden width")
+		epochs  = flag.Int("epochs", 0, "pilot training epochs")
+		batch   = flag.Int("batch", 0, "DyNN batch size")
+		seed    = flag.Uint64("seed", 42, "experiment seed")
+	)
+	flag.Parse()
+
+	opts := expt.DefaultOptions()
+	if *train > 0 {
+		opts.TrainSamples = *train
+	}
+	if *test > 0 {
+		opts.TestSamples = *test
+	}
+	if *neurons > 0 {
+		opts.Neurons = *neurons
+	}
+	if *epochs > 0 {
+		opts.Epochs = *epochs
+	}
+	if *batch > 0 {
+		opts.Batch = *batch
+	}
+	opts.Seed = *seed
+
+	if err := run(*exp, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "dynnbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opts expt.Options) error {
+	out := os.Stdout
+
+	// Experiments that need the shared workbench (trained pilot).
+	needsWB := map[string]bool{
+		"fig7": true, "fig8": true, "fig9": true, "fig10": true,
+		"mispred": true, "mispred-handling": true, "overhead": true, "fig12": true,
+	}
+	var wb *expt.Workbench
+	getWB := func() (*expt.Workbench, error) {
+		if wb != nil {
+			return wb, nil
+		}
+		fmt.Fprintln(out, "building workbench (model contexts + pilot training)...")
+		var err error
+		wb, err = expt.NewWorkbench(opts)
+		return wb, err
+	}
+
+	names := strings.Split(exp, ",")
+	if exp == "all" {
+		names = []string{"table1", "table2", "heuristic", "largest", "table3",
+			"fig7", "fig8", "fig9", "fig10", "table4", "fig11", "fig12",
+			"mispred", "mispred-handling", "overhead"}
+	}
+	for _, name := range names {
+		var t []*expt.Table
+		switch name {
+		case "table1":
+			t = []*expt.Table{expt.TableI(opts.TrainSamples*4, opts.Seed)}
+		case "table2":
+			t = []*expt.Table{expt.TableII()}
+		case "heuristic":
+			t = []*expt.Table{expt.HeuristicStudy(opts.TrainSamples*2, opts.Seed)}
+		case "largest":
+			t = []*expt.Table{expt.LargestModel(0, 0)}
+		case "table3":
+			t = []*expt.Table{expt.TableIII(0, 0, 0)}
+		case "table4":
+			t = []*expt.Table{expt.TableIV(opts)}
+		case "fig11":
+			t = []*expt.Table{expt.Fig11(opts)}
+		default:
+			if !needsWB[name] {
+				return fmt.Errorf("unknown experiment %q", name)
+			}
+			w, err := getWB()
+			if err != nil {
+				return err
+			}
+			switch name {
+			case "fig7":
+				t = []*expt.Table{expt.Fig7(w)}
+			case "fig8":
+				t = []*expt.Table{expt.Fig8(w)}
+			case "fig9":
+				t = []*expt.Table{expt.Fig9(w)}
+			case "fig10":
+				t = []*expt.Table{expt.Fig10(w)}
+			case "fig12":
+				t = []*expt.Table{expt.Fig12(w)}
+			case "mispred":
+				t = []*expt.Table{expt.Mispredictions(w)}
+			case "mispred-handling":
+				t = []*expt.Table{expt.MispredHandling(w)}
+			case "overhead":
+				t = []*expt.Table{expt.Overhead(w)}
+			}
+		}
+		for _, tab := range t {
+			tab.Fprint(out)
+		}
+	}
+	return nil
+}

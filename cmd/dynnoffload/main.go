@@ -1,0 +1,95 @@
+// Command dynnoffload simulates training one zoo model under a chosen
+// memory-management policy on a chosen GPU budget — the end-to-end usage of
+// the paper's Fig 6 ("only Line 4 and Line 6 need to be added"), as a CLI.
+//
+//	dynnoffload -model var-BERT -policy dynn-offload -budget-mb 512
+//	dynnoffload -model Tree-CNN -policy dtr -budget-frac 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynnoffload"
+)
+
+func main() {
+	var (
+		model      = flag.String("model", "Tree-LSTM", "zoo model name")
+		policy     = flag.String("policy", "dynn-offload", "pytorch | uvm | dtr | zero-offload | dynn-offload")
+		batch      = flag.Int("batch", 8, "batch size")
+		budgetMB   = flag.Int64("budget-mb", 0, "GPU memory budget in MiB (0 = full device)")
+		budgetFrac = flag.Float64("budget-frac", 0, "GPU budget as a fraction of the model footprint (overrides -budget-mb)")
+		samples    = flag.Int("samples", 64, "iterations to simulate")
+		train      = flag.Int("train", 1200, "pilot-training samples (dynn-offload only)")
+		neurons    = flag.Int("neurons", 128, "pilot hidden width")
+		seed       = flag.Uint64("seed", 42, "seed")
+	)
+	flag.Parse()
+
+	m, err := dynnoffload.ZooModel(*model, *batch, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	plat := dynnoffload.A100Platform()
+
+	// Probe the footprint to apply fractional budgets.
+	probe, err := dynnoffload.NewSystem(dynnoffload.SystemConfig{Model: m, Platform: plat})
+	if err != nil {
+		fatal(err)
+	}
+	corpus := dynnoffload.GenerateSamples(*seed, *train+*samples, 8, 48)
+	tr, err := probe.Trace(corpus[len(corpus)-1])
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *budgetFrac > 0:
+		plat = plat.WithMemory(int64(*budgetFrac * float64(tr.TotalBytes())))
+	case *budgetMB > 0:
+		plat = plat.WithMemory(*budgetMB << 20)
+	}
+	fmt.Printf("model=%s params=%.2fM footprint=%dMiB gpu=%dMiB policy=%s\n",
+		m.Name(), float64(dynnoffload.ParamCount(m))/1e6, tr.TotalBytes()>>20, plat.GPU.MemBytes>>20, *policy)
+
+	sys, err := dynnoffload.NewSystem(dynnoffload.SystemConfig{
+		Model: m, Platform: plat,
+		PilotConfig: dynnoffload.PilotConfig{Neurons: *neurons, Seed: *seed},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *policy == "dynn-offload" {
+		if _, err := sys.TrainPilot(corpus[:*train]); err != nil {
+			fatal(err)
+		}
+		rep, err := sys.TrainEpoch(corpus[*train : *train+*samples])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("epoch: %s\n", rep.Breakdown)
+		fmt.Printf("per-iteration: %.3f ms; mispredictions: %d/%d (cache hits %d)\n",
+			float64(rep.Breakdown.TotalNS())/1e6/float64(rep.Samples), rep.Mispredictions, rep.Samples, rep.CacheHits)
+		fmt.Printf("pilot overhead: %.1f us/iter inference + %.1f us/iter mapping\n",
+			float64(rep.PilotNS)/1e3/float64(rep.Samples), float64(rep.MappingNS)/1e3/float64(rep.Samples))
+		return
+	}
+
+	var total dynnoffload.Breakdown
+	for _, s := range corpus[*train : *train+*samples] {
+		bd, err := sys.Baseline(dynnoffload.BaselineSystem(*policy), s)
+		if err != nil {
+			fatal(err)
+		}
+		total = total.Add(bd)
+	}
+	fmt.Printf("epoch: %s\n", total)
+	fmt.Printf("per-iteration: %.3f ms\n", float64(total.TotalNS())/1e6/float64(*samples))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dynnoffload:", err)
+	os.Exit(1)
+}

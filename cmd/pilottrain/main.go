@@ -1,0 +1,94 @@
+// Command pilottrain trains the pilot model offline on the dynamic model
+// zoo and reports per-model accuracy and inference latency — the paper's
+// training system for the pilot model (§V), including the genetic
+// hyper-parameter search when -tune is set.
+//
+//	pilottrain -neurons 512 -train 3000 -test 500
+//	pilottrain -tune
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynnoffload/internal/dynn"
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/nn"
+	"dynnoffload/internal/pilot"
+)
+
+func main() {
+	var (
+		neurons = flag.Int("neurons", 128, "hidden width per MLP layer")
+		epochs  = flag.Int("epochs", 12, "training epochs")
+		train   = flag.Int("train", 1500, "training samples per model")
+		test    = flag.Int("test", 400, "test samples per model")
+		seed    = flag.Uint64("seed", 42, "seed")
+		batch   = flag.Int("batch", 8, "DyNN batch size")
+		tune    = flag.Bool("tune", false, "run the genetic hyper-parameter search (§V)")
+	)
+	flag.Parse()
+
+	type modelSet struct {
+		name        string
+		train, test []*pilot.Example
+	}
+	var sets []modelSet
+	var allTrain []*pilot.Example
+	for _, entry := range dynn.DynamicZoo() {
+		m := entry.New(*batch, *seed)
+		ctx, err := pilot.NewModelContext(m, gpusim.NewCostModel(gpusim.RTXPlatform()), 0, 0)
+		if err != nil {
+			fatal(err)
+		}
+		samples := dynn.GenerateSamples(*seed^uint64(len(entry.Name)), *train+*test, 8, 48)
+		exs, err := pilot.BuildExamples(ctx, pilot.FeatureConfig{}, samples)
+		if err != nil {
+			fatal(err)
+		}
+		sets = append(sets, modelSet{entry.Name, exs[:*train], exs[*train:]})
+		allTrain = append(allTrain, exs[:*train]...)
+	}
+
+	cfg := pilot.Config{Neurons: *neurons, Epochs: *epochs, Seed: *seed}
+	if *tune {
+		fmt.Println("genetic hyper-parameter search...")
+		tcfg := nn.DefaultTunerConfig()
+		tcfg.HiddenChoices = []int{64, 128, 256}
+		tcfg.EpochChoices = []int{6, 10, 14}
+		tcfg.LRChoices = []float64{0.0005, 0.001, 0.002}
+		best, fitness := nn.Tune(tcfg, func(g nn.Genome) float64 {
+			p := pilot.New(pilot.Config{Neurons: g.Hidden, Epochs: g.Epochs, LR: g.LR, Seed: *seed})
+			p.Train(allTrain)
+			var acc float64
+			var n int
+			for _, s := range sets {
+				a, _, _ := p.Evaluate(s.test)
+				acc += a * float64(len(s.test))
+				n += len(s.test)
+			}
+			return acc / float64(n)
+		})
+		fmt.Printf("best genome: hidden=%d lr=%g epochs=%d (accuracy %.3f)\n",
+			best.Hidden, best.LR, best.Epochs, fitness)
+		cfg = pilot.Config{Neurons: best.Hidden, Epochs: best.Epochs, LR: best.LR, Seed: *seed}
+	}
+
+	p := pilot.New(cfg)
+	res := p.Train(allTrain)
+	fmt.Printf("pilot: %s — trained on %d samples in %v (final loss %.4f)\n",
+		p, res.TrainedOn, res.WallClock.Round(1e6), res.FinalLoss)
+
+	fmt.Printf("\n%-12s %-10s %-10s %-12s\n", "model", "accuracy", "mispred", "infer (us)")
+	for _, s := range sets {
+		acc, mis, lat := p.Evaluate(s.test)
+		fmt.Printf("%-12s %-10.3f %-10s %-12.1f\n",
+			s.name, acc, fmt.Sprintf("%d/%d", mis, len(s.test)), float64(lat.Nanoseconds())/1e3)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pilottrain:", err)
+	os.Exit(1)
+}

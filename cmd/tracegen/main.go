@@ -1,0 +1,52 @@
+// Command tracegen emits the dynamic execution trace of one DyNN training
+// iteration as JSON — the paper's "execution trace generator" (§V), whose
+// output feeds the Sentinel partition simulator and the pilot-training
+// sample generator.
+//
+//	tracegen -model Tree-LSTM -sample 3 > trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynnoffload"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "Tree-LSTM", "zoo model name (see dynnbench -exp table2)")
+		batch  = flag.Int("batch", 8, "batch size")
+		sample = flag.Int("sample", 0, "which synthetic sample to resolve")
+		seed   = flag.Uint64("seed", 42, "sample-stream seed")
+	)
+	flag.Parse()
+
+	m, err := dynnoffload.ZooModel(*model, *batch, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := dynnoffload.NewSystem(dynnoffload.SystemConfig{
+		Model:    m,
+		Platform: dynnoffload.A100Platform(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	samples := dynnoffload.GenerateSamples(*seed, *sample+1, 8, 48)
+	tr, err := sys.Trace(samples[*sample])
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "model=%s ops=%d tensors=%d bytes=%d compute=%.3fms\n",
+		m.Name(), len(tr.Records), len(tr.Tensors), tr.TotalBytes(), float64(tr.TotalTimeNS())/1e6)
+	if err := tr.WriteJSON(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,253 @@
+// Package dynnoffload is the public API of the DyNN-Offload reproduction: a
+// learning-based GPU memory-management system for training dynamic neural
+// networks larger than GPU memory (HPCA 2024). It re-exports the pieces a
+// downstream user composes:
+//
+//   - a model zoo of dynamic NNs (Tree-CNN, Tree-LSTM, var-BERT, var-LSTM,
+//     MoE, UGAN, an AlphaFold-style evoformer) and synthetic sample streams;
+//   - the pilot model: a small neural network that resolves a DyNN's
+//     control flow per input sample and predicts its execution-block
+//     partition;
+//   - the DyNN-Offload runtime: double-buffered tensor prefetch over a
+//     virtual-time GPU/PCIe simulator, with mis-prediction handling;
+//   - the baselines the paper compares against: unmodified PyTorch-style
+//     in-memory training, CUDA unified virtual memory (UVM), dynamic tensor
+//     rematerialization (DTR), and ZeRO-Offload.
+//
+// Quick start (see examples/quickstart for a runnable version):
+//
+//	model := dynnoffload.NewTreeLSTM(dynnoffload.TreeLSTMConfig{
+//		Levels: 6, Hidden: 256, SeqLen: 16, Batch: 8, Seed: 1,
+//	})
+//	sys, err := dynnoffload.NewSystem(dynnoffload.SystemConfig{
+//		Model:    model,
+//		Platform: dynnoffload.RTXPlatform().WithMemory(dynnoffload.GiB(1)),
+//	})
+//	...
+//	report, err := sys.TrainEpoch(samples)
+package dynnoffload
+
+import (
+	"fmt"
+
+	"dynnoffload/internal/baselines"
+	"dynnoffload/internal/core"
+	"dynnoffload/internal/dynn"
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/pilot"
+	"dynnoffload/internal/sentinel"
+	"dynnoffload/internal/trace"
+)
+
+// Re-exported model zoo types and constructors.
+type (
+	Model           = dynn.Model
+	Sample          = dynn.Sample
+	TreeCNNConfig   = dynn.TreeCNNConfig
+	TreeLSTMConfig  = dynn.TreeLSTMConfig
+	VarBERTConfig   = dynn.VarBERTConfig
+	VarLSTMConfig   = dynn.VarLSTMConfig
+	MoEConfig       = dynn.MoEConfig
+	UGANConfig      = dynn.UGANConfig
+	AlphaFoldConfig = dynn.AlphaFoldConfig
+	ZooEntry        = dynn.ZooEntry
+)
+
+var (
+	NewTreeCNN   = dynn.NewTreeCNN
+	NewTreeLSTM  = dynn.NewTreeLSTM
+	NewVarBERT   = dynn.NewVarBERT
+	NewFixedBERT = dynn.NewFixedBERT
+	NewVarLSTM   = dynn.NewVarLSTM
+	NewFixedLSTM = dynn.NewFixedLSTM
+	NewMoE       = dynn.NewMoE
+	NewUGAN      = dynn.NewUGAN
+	NewAlphaFold = dynn.NewAlphaFold
+
+	Zoo             = dynn.Zoo
+	ZooModel        = dynn.ZooModel
+	GenerateSamples = dynn.GenerateSamples
+	ParamCount      = dynn.ParamCount
+	StateBytes      = dynn.StateBytes
+)
+
+// Re-exported hardware platform types and presets.
+type (
+	Platform   = gpusim.Platform
+	DeviceSpec = gpusim.DeviceSpec
+	Breakdown  = gpusim.Breakdown
+)
+
+var (
+	RTXPlatform  = gpusim.RTXPlatform
+	A100Platform = gpusim.A100Platform
+	GiB          = gpusim.GiB
+	MiB          = gpusim.MiB
+)
+
+// Re-exported pilot-model types.
+type (
+	PilotConfig  = pilot.Config
+	Pilot        = pilot.Pilot
+	PilotExample = pilot.Example
+)
+
+var (
+	NewPilot           = pilot.New
+	DefaultPilotConfig = pilot.DefaultConfig
+)
+
+// SystemConfig configures a DyNN-Offload training system for one model on
+// one platform.
+type SystemConfig struct {
+	Model    dynn.Model
+	Platform gpusim.Platform
+	// Pilot optionally supplies a pre-trained pilot; when nil, TrainPilot
+	// must be called before TrainEpoch.
+	Pilot *pilot.Pilot
+	// PilotConfig configures the pilot trained by TrainPilot.
+	PilotConfig pilot.Config
+}
+
+// System couples a model context, a pilot model, and the DyNN-Offload
+// runtime — the paper's Fig 2 architecture.
+type System struct {
+	cfg    SystemConfig
+	ctx    *pilot.ModelContext
+	pilot  *pilot.Pilot
+	engine *core.Engine
+}
+
+// NewSystem builds the system: it enumerates the model's resolution paths,
+// runs the Sentinel partitioner at the platform's double-buffer budget for
+// every path (the offline labeling of §IV-D), and prepares the runtime.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("dynnoffload: SystemConfig.Model is required")
+	}
+	cm := gpusim.NewCostModel(cfg.Platform)
+	ctx, err := pilot.NewModelContext(cfg.Model, cm, cfg.Platform.GPU.MemBytes/2, cfg.PilotConfig.MaxBlocks)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, ctx: ctx, pilot: cfg.Pilot}
+	if s.pilot != nil {
+		s.engine = core.NewEngine(core.DefaultConfig(cfg.Platform), s.pilot)
+	}
+	return s, nil
+}
+
+// Context exposes the model context (paths, labels, analyses).
+func (s *System) Context() *pilot.ModelContext { return s.ctx }
+
+// Examples encodes samples into pilot examples for this system's model.
+func (s *System) Examples(samples []*dynn.Sample) ([]*pilot.Example, error) {
+	return pilot.BuildExamples(s.ctx, s.cfg.PilotConfig.Features, samples)
+}
+
+// TrainPilot trains the pilot model offline on the given samples (§IV-D)
+// and returns its held-out-free training summary.
+func (s *System) TrainPilot(samples []*dynn.Sample) (pilot.TrainResult, error) {
+	exs, err := s.Examples(samples)
+	if err != nil {
+		return pilot.TrainResult{}, err
+	}
+	s.pilot = pilot.New(s.cfg.PilotConfig)
+	res := s.pilot.Train(exs)
+	s.engine = core.NewEngine(core.DefaultConfig(s.cfg.Platform), s.pilot)
+	return res, nil
+}
+
+// PilotAccuracy evaluates the pilot on samples, returning accuracy and the
+// mis-prediction count.
+func (s *System) PilotAccuracy(samples []*dynn.Sample) (float64, int, error) {
+	if s.pilot == nil {
+		return 0, 0, fmt.Errorf("dynnoffload: pilot not trained")
+	}
+	exs, err := s.Examples(samples)
+	if err != nil {
+		return 0, 0, err
+	}
+	acc, mis, _ := s.pilot.Evaluate(exs)
+	return acc, mis, nil
+}
+
+// EpochReport is the result of a simulated training epoch.
+type EpochReport = core.EpochReport
+
+// TrainEpoch simulates DyNN-Offload training over the samples (one
+// iteration each) and aggregates time, traffic, and mis-predictions.
+func (s *System) TrainEpoch(samples []*dynn.Sample) (EpochReport, error) {
+	if s.engine == nil {
+		return EpochReport{}, fmt.Errorf("dynnoffload: pilot not trained (call TrainPilot)")
+	}
+	exs, err := s.Examples(samples)
+	if err != nil {
+		return EpochReport{}, err
+	}
+	return s.engine.RunEpoch(exs)
+}
+
+// BaselineSystem names a comparison system.
+type BaselineSystem string
+
+const (
+	PyTorch     BaselineSystem = "pytorch"
+	UVM         BaselineSystem = "uvm"
+	DTR         BaselineSystem = "dtr"
+	ZeROOffload BaselineSystem = "zero-offload"
+)
+
+// Baseline simulates one training iteration of the model's resolution path
+// for the given sample under a baseline system.
+func (s *System) Baseline(system BaselineSystem, sample *dynn.Sample) (gpusim.Breakdown, error) {
+	r, err := s.cfg.Model.Resolve(sample)
+	if err != nil {
+		return gpusim.Breakdown{}, err
+	}
+	info := s.ctx.PathByKey(pilot.PathKey(r))
+	if info == nil {
+		return gpusim.Breakdown{}, fmt.Errorf("dynnoffload: unknown path")
+	}
+	switch system {
+	case PyTorch:
+		return baselines.PyTorch(info.Analysis, s.cfg.Platform)
+	case UVM:
+		return baselines.UVM(info.Analysis, s.cfg.Platform, baselines.DefaultUVMConfig())
+	case DTR:
+		return baselines.DTR(info.Analysis, s.cfg.Platform, baselines.DefaultDTRConfig())
+	case ZeROOffload:
+		eng := core.NewEngine(core.DefaultConfig(s.cfg.Platform), nil)
+		return baselines.ZeRO(info.Analysis, s.cfg.Platform, s.cfg.Model.Dynamic(),
+			baselines.DefaultZeROConfig(), eng.SimulatePartition)
+	}
+	return gpusim.Breakdown{}, fmt.Errorf("dynnoffload: unknown system %q", system)
+}
+
+// Trace produces the dynamic execution trace of a sample's full training
+// iteration (forward + backward + optimizer), as cmd/tracegen writes to
+// JSON.
+func (s *System) Trace(sample *dynn.Sample) (*trace.Trace, error) {
+	r, err := s.cfg.Model.Resolve(sample)
+	if err != nil {
+		return nil, err
+	}
+	info := s.ctx.PathByKey(pilot.PathKey(r))
+	if info == nil {
+		return nil, fmt.Errorf("dynnoffload: unknown path")
+	}
+	return info.Trace, nil
+}
+
+// Blocks returns the Sentinel execution-block partition for a sample's path.
+func (s *System) Blocks(sample *dynn.Sample) ([]sentinel.Block, error) {
+	r, err := s.cfg.Model.Resolve(sample)
+	if err != nil {
+		return nil, err
+	}
+	info := s.ctx.PathByKey(pilot.PathKey(r))
+	if info == nil {
+		return nil, fmt.Errorf("dynnoffload: unknown path")
+	}
+	return info.Blocks, nil
+}

@@ -1,0 +1,112 @@
+// Mixture-of-experts scenario: switch-style MoE is the paper's motivating
+// memory-hungry DyNN class (§I cites a switch-MoE needing 320 GB at
+// T5-large parity). This example applies the paper's Table III methodology
+// (largest trainable batch under a 200% runtime-overhead cap) to MoE
+// routing dynamism.
+//
+// Note the scale effect the full Table III experiment
+// (`dynnbench -exp table3`) explores: at this example's small hidden size,
+// recomputation (DTR) is cheap relative to PCIe migration, so DTR posts the
+// biggest batch; at the paper's model scales (48+ layers, hidden 1024+,
+// long sequences) compute dominates and DyNN-Offload wins 4x+.
+//
+//	go run ./examples/moe
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynnoffload"
+)
+
+const maxOverhead = 2.0 // 200%, as in Table III
+
+func main() {
+	samples := dynnoffload.GenerateSamples(9, 400, 8, 48)
+	probeSample := samples[0]
+
+	// GPU sized so batch 8 fits in memory with little slack.
+	base := buildSystem(8, dynnoffload.A100Platform())
+	tr, err := base.Trace(probeSample)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat := dynnoffload.A100Platform().WithMemory(tr.TotalBytes() * 11 / 10)
+	fmt.Printf("GPU budget: %d MiB\n\n", plat.GPU.MemBytes>>20)
+
+	idealNS := func(batch int) int64 {
+		sys := buildSystem(batch, dynnoffload.A100Platform())
+		bd, err := sys.Baseline(dynnoffload.PyTorch, probeSample)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return bd.TotalNS()
+	}
+
+	timeFor := func(system dynnoffload.BaselineSystem, batch int) (int64, error) {
+		sys := buildSystem(batch, plat)
+		bd, err := sys.Baseline(system, probeSample)
+		return bd.TotalNS(), err
+	}
+
+	fmt.Printf("%-14s %-10s %s\n", "system", "max batch", "vs pytorch")
+	var pytorchMax int
+	for _, system := range []dynnoffload.BaselineSystem{
+		dynnoffload.PyTorch, dynnoffload.UVM, dynnoffload.DTR,
+	} {
+		best := 0
+		for batch := 2; batch <= 128; batch *= 2 {
+			t, err := timeFor(system, batch)
+			if err != nil || float64(t) > float64(idealNS(batch))*(1+maxOverhead) {
+				break
+			}
+			best = batch
+		}
+		if system == dynnoffload.PyTorch {
+			pytorchMax = best
+		}
+		rel := "-"
+		if pytorchMax > 0 {
+			rel = fmt.Sprintf("%.1fx", float64(best)/float64(pytorchMax))
+		}
+		fmt.Printf("%-14s %-10d %s\n", system, best, rel)
+	}
+
+	// DyNN-Offload with a trained pilot.
+	best := 0
+	for batch := 2; batch <= 128; batch *= 2 {
+		sys := buildSystem(batch, plat)
+		if _, err := sys.TrainPilot(samples[:300]); err != nil {
+			break
+		}
+		rep, err := sys.TrainEpoch(samples[300:320])
+		if err != nil {
+			break
+		}
+		perIter := rep.Breakdown.TotalNS() / int64(rep.Samples)
+		if float64(perIter) > float64(idealNS(batch))*(1+maxOverhead) {
+			break
+		}
+		best = batch
+	}
+	rel := "-"
+	if pytorchMax > 0 {
+		rel = fmt.Sprintf("%.1fx", float64(best)/float64(pytorchMax))
+	}
+	fmt.Printf("%-14s %-10d %s\n", "dynn-offload", best, rel)
+}
+
+func buildSystem(batch int, plat dynnoffload.Platform) *dynnoffload.System {
+	model := dynnoffload.NewMoE(dynnoffload.MoEConfig{
+		Layers: 4, Hidden: 512, SeqLen: 32, Experts: 4, Batch: batch, Seed: 4,
+	})
+	sys, err := dynnoffload.NewSystem(dynnoffload.SystemConfig{
+		Model: model, Platform: plat,
+		PilotConfig: dynnoffload.PilotConfig{Neurons: 96, Epochs: 8, Seed: 6},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}

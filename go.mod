@@ -1,0 +1,3 @@
+module dynnoffload
+
+go 1.22

@@ -1,0 +1,46 @@
+package baselines
+
+import (
+	"testing"
+
+	"dynnoffload/internal/dynn"
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/graph"
+	"dynnoffload/internal/sentinel"
+	"dynnoffload/internal/trace"
+)
+
+// TestDTRAlphaFoldRecycling guards the weight-shared Repeat (recycling)
+// interaction with DTR: aliased tensors' gradients must not be read before
+// any backward op produces them, and a roomy budget must need no remat.
+func TestDTRAlphaFoldRecycling(t *testing.T) {
+	m := dynn.NewAlphaFold(dynn.AlphaFoldConfig{Blocks: 3, SeqLen: 48, MSADim: 32, PairDim: 32, Batch: 4, Seed: 3})
+	r, err := graph.Resolve(m.Static(), []int{0, 0, 1}) // 2 recycles
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := graph.ExpandTraining(m.Registry(), r, m.WeightStates(), true)
+	cm := gpusim.NewCostModel(gpusim.A100Platform())
+	tr := trace.FromIteration(m.Name(), it, cm)
+	an := sentinel.NewAnalysis(tr, cm)
+
+	// No tensor may be read before its first production (weights excluded:
+	// the optimizer is their only producer).
+	kinds := tr.TensorKinds()
+	for i, rec := range tr.Records {
+		for _, in := range rec.Inputs {
+			if p := an.Producer(in); p > i && kinds[in] != 1 /* Weight */ {
+				t.Fatalf("op %d reads tensor %d produced at op %d", i, in, p)
+			}
+		}
+	}
+
+	plat := gpusim.A100Platform().WithMemory(tr.TotalBytes() * 11 / 10)
+	bd, err := DTR(an, plat, DefaultDTRConfig())
+	if err != nil {
+		t.Fatalf("roomy DTR failed: %v", err)
+	}
+	if bd.RematNS != 0 {
+		t.Errorf("roomy DTR rematerialized %d ns", bd.RematNS)
+	}
+}

@@ -1,0 +1,214 @@
+package baselines
+
+import (
+	"errors"
+	"testing"
+
+	"dynnoffload/internal/dynn"
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/graph"
+	"dynnoffload/internal/sentinel"
+	"dynnoffload/internal/trace"
+)
+
+// analysisDeep builds a deeper var-BERT whose activation span gives DTR a
+// real eviction window.
+func analysisDeep(t *testing.T, batch int, plat gpusim.Platform) *sentinel.Analysis {
+	t.Helper()
+	m := dynn.NewVarBERT(dynn.VarBERTConfig{Layers: 12, Hidden: 128, SeqLen: 64, Batch: batch, Seed: 1})
+	r, err := graph.Resolve(m.Static(), make([]int, m.Static().NumSites))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := graph.ExpandTraining(m.Registry(), r, m.WeightStates(), true)
+	cm := gpusim.NewCostModel(plat)
+	return sentinel.NewAnalysis(trace.FromIteration(m.Name(), it, cm), cm)
+}
+
+// analysisFor builds the iteration analysis of a small var-BERT at the given
+// batch on the given platform.
+func analysisFor(t *testing.T, batch int, plat gpusim.Platform) *sentinel.Analysis {
+	t.Helper()
+	m := dynn.NewVarBERT(dynn.VarBERTConfig{Layers: 4, Hidden: 128, SeqLen: 32, Batch: batch, Seed: 1})
+	r, err := graph.Resolve(m.Static(), make([]int, m.Static().NumSites))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := graph.ExpandTraining(m.Registry(), r, m.WeightStates(), true)
+	cm := gpusim.NewCostModel(plat)
+	return sentinel.NewAnalysis(trace.FromIteration(m.Name(), it, cm), cm)
+}
+
+func TestPyTorchInMemory(t *testing.T) {
+	plat := gpusim.RTXPlatform()
+	an := analysisFor(t, 2, plat)
+	bd, err := PyTorch(an, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.ComputeNS != an.TotalComputeNS() {
+		t.Error("PyTorch time must be pure compute")
+	}
+	if bd.ExposedXferNS != 0 {
+		t.Error("PyTorch must not migrate")
+	}
+}
+
+func TestPyTorchOOM(t *testing.T) {
+	plat := gpusim.RTXPlatform()
+	an := analysisFor(t, 2, plat)
+	small := plat.WithMemory(an.PeakResidentBytes() / 2)
+	_, err := PyTorch(an, small)
+	var oom *ErrOOM
+	if !errors.As(err, &oom) {
+		t.Fatalf("want ErrOOM, got %v", err)
+	}
+	if oom.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestUVMUnderPressure(t *testing.T) {
+	plat := gpusim.RTXPlatform()
+	an := analysisFor(t, 2, plat)
+	peak := an.PeakResidentBytes()
+
+	// Fits: equal to PyTorch.
+	fit, err := UVM(an, plat, DefaultUVMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.FaultNS != 0 {
+		t.Error("fitting UVM must not fault")
+	}
+
+	// Pressured: slower than PyTorch compute, with faults and traffic.
+	pressured := plat.WithMemory(peak * 6 / 10)
+	bd, err := UVM(an, pressured, DefaultUVMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Faults == 0 || bd.ExposedXferNS == 0 {
+		t.Error("pressured UVM must fault and migrate")
+	}
+	if bd.TotalNS() <= an.TotalComputeNS() {
+		t.Error("pressured UVM cannot match pure compute")
+	}
+
+	// Beyond 2x oversubscription: OOM.
+	tiny := plat.WithMemory(peak / 3)
+	if _, err := UVM(an, tiny, DefaultUVMConfig()); err == nil {
+		t.Error("beyond-oversubscription UVM must OOM")
+	}
+}
+
+func TestDTRUnderPressure(t *testing.T) {
+	plat := gpusim.RTXPlatform()
+	an := analysisDeep(t, 8, plat)
+	peak := an.PeakResidentBytes()
+	persistent := an.PersistentBytes()
+
+	// Fits entirely: no remat.
+	fit, err := DTR(an, plat, DefaultDTRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.RematNS != 0 {
+		t.Error("roomy DTR must not rematerialize")
+	}
+
+	// Activation pressure: scan down until eviction starts; remat must
+	// appear before DTR's working floor (OOM).
+	span := peak - persistent
+	foundRemat := false
+	for f := 98; f >= 40; f -= 2 {
+		budget := persistent + span*int64(f)/100
+		bd, err := DTR(an, plat.WithMemory(budget), DefaultDTRConfig())
+		if err != nil {
+			break // hit the working floor
+		}
+		if bd.PeakGPUBytes > budget {
+			t.Errorf("DTR peak %d exceeded budget %d", bd.PeakGPUBytes, budget)
+		}
+		if bd.RematNS > 0 {
+			foundRemat = true
+			break
+		}
+	}
+	if !foundRemat {
+		t.Error("no budget produced rematerialization before the working floor")
+	}
+
+	// Below the non-evictable floor: OOM.
+	if _, err := DTR(an, plat.WithMemory(persistent/2), DefaultDTRConfig()); err == nil {
+		t.Error("sub-persistent DTR must fail")
+	}
+}
+
+func TestDTRDegradesSuperlinearly(t *testing.T) {
+	plat := gpusim.RTXPlatform()
+	an := analysisFor(t, 4, plat)
+	peak := an.PeakResidentBytes()
+	persistent := an.PersistentBytes()
+	span := peak - persistent
+
+	var prev int64
+	points := 0
+	for _, f := range []float64{0.95, 0.85, 0.75, 0.65} {
+		budget := persistent + int64(f*float64(span))
+		bd, err := DTR(an, plat.WithMemory(budget), DefaultDTRConfig())
+		if err != nil {
+			// Tighter budgets eventually hit DTR's working floor (the
+			// paper's red-x regime); stop the sweep there.
+			break
+		}
+		if prev > 0 && bd.TotalNS() < prev {
+			t.Errorf("DTR got faster with less memory at f=%v", f)
+		}
+		prev = bd.TotalNS()
+		points++
+	}
+	if points < 2 {
+		t.Fatalf("DTR feasible at only %d budget points", points)
+	}
+}
+
+func TestDTRTrackingCrash(t *testing.T) {
+	plat := gpusim.RTXPlatform()
+	an := analysisFor(t, 2, plat)
+	cfg := DefaultDTRConfig()
+	cfg.MaxTrackedTensors = 3
+	if _, err := DTR(an, plat, cfg); err == nil {
+		t.Error("tensor-tracking overflow must crash")
+	}
+}
+
+func TestZeRORejectsDynamic(t *testing.T) {
+	plat := gpusim.RTXPlatform()
+	an := analysisFor(t, 2, plat)
+	pipeline := func(a *sentinel.Analysis, b []sentinel.Block) gpusim.Breakdown {
+		return gpusim.Breakdown{ComputeNS: a.TotalComputeNS()}
+	}
+	if _, err := ZeRO(an, plat, true, DefaultZeROConfig(), pipeline); !errors.Is(err, ErrDynamicModel) {
+		t.Errorf("want ErrDynamicModel, got %v", err)
+	}
+	bd, err := ZeRO(an, plat, false, DefaultZeROConfig(), pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.OverheadNS <= 0 {
+		t.Error("ZeRO must charge the CPU-optimizer penalty")
+	}
+}
+
+func TestGreedyPartitionCoversOps(t *testing.T) {
+	plat := gpusim.RTXPlatform()
+	an := analysisFor(t, 2, plat)
+	blocks := greedyPartition(an, an.MaxSingleOpBytes()*4)
+	if blocks == nil {
+		t.Fatal("greedy partition infeasible")
+	}
+	if err := sentinel.Validate(blocks, an.NumOps()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/sentinel"
+	"dynnoffload/internal/tensor"
+)
+
+// DTRConfig tunes dynamic tensor rematerialization [30].
+type DTRConfig struct {
+	// MaxRematOps bounds total rematerializations per iteration; exceeding it
+	// models runaway recompute chains.
+	MaxRematOps int
+	// InterceptOverhead is the fractional runtime cost of DTR's operator
+	// interception and metadata upkeep, charged on compute time. The DTR
+	// paper itself reports 1.1-1.3x slowdown even without eviction pressure.
+	InterceptOverhead float64
+	// MaxTrackedTensors models the tensor-lifetime-tracking instability the
+	// paper observed: "training a larger model with DTR suffers from system
+	// crashes because of DTR's internal mechanism to track tensor lifetime"
+	// (§VI-B). Iterations referencing more distinct tensors than this crash.
+	MaxTrackedTensors int
+}
+
+// DefaultDTRConfig returns the DTR defaults.
+func DefaultDTRConfig() DTRConfig {
+	return DTRConfig{MaxRematOps: 5_000_000, InterceptOverhead: 0.15, MaxTrackedTensors: 60_000}
+}
+
+// dtrState is the per-run simulator state.
+type dtrState struct {
+	an    *sentinel.Analysis
+	cfg   DTRConfig
+	kinds map[int64]tensor.Kind
+
+	capacity   int64
+	used       int64
+	peak       int64
+	resident   map[int64]bool
+	pinned     map[int64]bool
+	lastAccess map[int64]int
+	step       int
+
+	rematOps int
+	rematNS  int64
+
+	// transients are tensors materialized only as intermediates of a
+	// rematerialization chain. DTR cannot afford to cache them (caching the
+	// chain is what caused the eviction pressure in the first place), so
+	// they are dropped after the faulting operator completes — which is why
+	// "the length of the computation chain increases superlinearly as the
+	// memory budget decreases" (§VI-C).
+	transients []int64
+}
+
+// rematerializable reports whether DTR may evict-and-recompute a tensor:
+// it must have a producing operator, and weights/optimizer state are updated
+// in place so they can never be replayed (§II-B: "some tensors cannot be
+// rematerialized, leading to a tighter bound on memory saving").
+func (s *dtrState) rematerializable(id int64) bool {
+	if s.an.Producer(id) < 0 {
+		return false
+	}
+	switch s.kinds[id] {
+	case tensor.Weight, tensor.OptState:
+		return false
+	}
+	return true
+}
+
+// DTR simulates training under dynamic tensor rematerialization: under
+// memory pressure it evicts the resident rematerializable tensor minimizing
+// the DTR heuristic h(t) = cost(t) / (mem(t) · staleness(t)), and recomputes
+// evicted tensors on demand — recursively, since a parent's inputs may have
+// been evicted too.
+func DTR(an *sentinel.Analysis, plat gpusim.Platform, cfg DTRConfig) (gpusim.Breakdown, error) {
+	var bd gpusim.Breakdown
+	s := &dtrState{
+		an: an, cfg: cfg, kinds: an.Trace.TensorKinds(),
+		capacity: plat.GPU.MemBytes,
+		resident: map[int64]bool{}, pinned: map[int64]bool{}, lastAccess: map[int64]int{},
+	}
+
+	if cfg.MaxTrackedTensors > 0 && len(an.Trace.Tensors) > cfg.MaxTrackedTensors {
+		return bd, fmt.Errorf("dtr: %d tensors exceed lifetime-tracking capacity %d (DTR crash regime)",
+			len(an.Trace.Tensors), cfg.MaxTrackedTensors)
+	}
+	// Persistent (non-rematerializable) tensors are always resident.
+	var persistent int64
+	for _, t := range an.Trace.Tensors {
+		if !s.rematerializable(t.ID) {
+			persistent += t.Bytes
+		}
+	}
+	if persistent+an.MaxSingleOpBytes() > s.capacity {
+		return bd, &ErrOOM{System: "dtr", Need: persistent + an.MaxSingleOpBytes(), Have: s.capacity}
+	}
+	for _, t := range an.Trace.Tensors {
+		if !s.rematerializable(t.ID) {
+			s.makeResident(t.ID)
+		}
+	}
+
+	for i, r := range an.Trace.Records {
+		s.step = i
+		// Pin this op's tensors, ensure inputs (rematerializing as needed),
+		// and allocate outputs.
+		ids := append(append([]int64{}, r.Inputs...), r.Outputs...)
+		for _, id := range ids {
+			s.pinned[id] = true
+		}
+		for _, id := range r.Inputs {
+			if s.an.Producer(id) == i {
+				continue // first written by this very op (in-place init)
+			}
+			if err := s.ensure(id, 0); err != nil {
+				return bd, err
+			}
+		}
+		for _, id := range r.Outputs {
+			if err := s.allocate(id); err != nil {
+				return bd, err
+			}
+		}
+		bd.ComputeNS += r.TimeNS
+		for _, id := range ids {
+			delete(s.pinned, id)
+			s.lastAccess[id] = i
+		}
+		// Chain intermediates are not cached: drop them now.
+		for _, id := range s.transients {
+			if !s.pinned[id] {
+				s.drop(id)
+			}
+		}
+		s.transients = s.transients[:0]
+		// Drop dead ephemerals for free (the framework frees them).
+		for _, id := range ids {
+			if s.an.LastUse(id) == i && s.rematerializable(id) {
+				s.drop(id)
+			}
+		}
+	}
+	bd.RematNS = s.rematNS
+	bd.OverheadNS = int64(cfg.InterceptOverhead * float64(bd.ComputeNS))
+	bd.PeakGPUBytes = s.peak
+	return bd, nil
+}
+
+const maxRematDepth = 512
+
+// ensure makes a tensor resident, recursively rematerializing its producing
+// chain when evicted ("rematerialization can be recursive ... no theoretical
+// bound on depth", §II-B).
+func (s *dtrState) ensure(id int64, depth int) error {
+	if s.resident[id] {
+		s.lastAccess[id] = s.step
+		return nil
+	}
+	if !s.rematerializable(id) {
+		// Persistent tensors were preloaded; reaching here is a bug.
+		return fmt.Errorf("dtr: persistent tensor %d not resident", id)
+	}
+	if depth > maxRematDepth {
+		return fmt.Errorf("dtr: rematerialization recursion exceeded %d (tensor %d, producer %d, step %d)", maxRematDepth, id, s.an.Producer(id), s.step)
+	}
+	p := s.an.Producer(id)
+	rec := s.an.Trace.Records[p]
+	// Recursively materialize the parent operation's arguments.
+	for _, in := range rec.Inputs {
+		s.pinned[in] = true
+	}
+	defer func() {
+		for _, in := range rec.Inputs {
+			delete(s.pinned, in)
+		}
+	}()
+	for _, in := range rec.Inputs {
+		if s.an.Producer(in) == p {
+			continue // in-place: the op initializes this tensor itself
+		}
+		if err := s.ensure(in, depth+1); err != nil {
+			return err
+		}
+	}
+	// Replay the parent op.
+	s.rematOps++
+	if s.rematOps > s.cfg.MaxRematOps {
+		return fmt.Errorf("dtr: rematerialization budget exceeded (%d ops) — DTR crash regime", s.cfg.MaxRematOps)
+	}
+	s.rematNS += rec.TimeNS
+	for _, out := range rec.Outputs {
+		if err := s.allocate(out); err != nil {
+			return err
+		}
+		if out != id {
+			s.transients = append(s.transients, out)
+		}
+	}
+	if depth > 0 {
+		s.transients = append(s.transients, id)
+	}
+	if !s.resident[id] {
+		return s.allocate(id)
+	}
+	return nil
+}
+
+// allocate makes room for a tensor and marks it resident.
+func (s *dtrState) allocate(id int64) error {
+	if s.resident[id] {
+		s.lastAccess[id] = s.step
+		return nil
+	}
+	need := s.an.BytesOf(id)
+	for s.used+need > s.capacity {
+		if !s.evictOne() {
+			return &ErrOOM{System: "dtr", Need: s.used + need, Have: s.capacity}
+		}
+	}
+	s.makeResident(id)
+	return nil
+}
+
+func (s *dtrState) makeResident(id int64) {
+	if s.resident[id] {
+		return
+	}
+	s.resident[id] = true
+	s.used += s.an.BytesOf(id)
+	if s.used > s.peak {
+		s.peak = s.used
+	}
+	s.lastAccess[id] = s.step
+}
+
+func (s *dtrState) drop(id int64) {
+	if !s.resident[id] {
+		return
+	}
+	delete(s.resident, id)
+	s.used -= s.an.BytesOf(id)
+}
+
+// evictOne removes the unpinned rematerializable resident tensor minimizing
+// the DTR heuristic. Returns false if nothing is evictable.
+func (s *dtrState) evictOne() bool {
+	best := int64(-1)
+	bestH := math.Inf(1)
+	for id := range s.resident {
+		if s.pinned[id] || !s.rematerializable(id) {
+			continue
+		}
+		p := s.an.Producer(id)
+		cost := float64(s.an.Trace.Records[p].TimeNS) + 1
+		mem := float64(s.an.BytesOf(id)) + 1
+		stale := float64(s.step-s.lastAccess[id]) + 1
+		h := cost / (mem * stale)
+		if h < bestH {
+			bestH = h
+			best = id
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	s.drop(best)
+	return true
+}

@@ -1,0 +1,38 @@
+// Package baselines implements the systems DyNN-Offload is compared against
+// (§VI-A): unmodified PyTorch (in-GPU-memory training), CUDA unified virtual
+// memory (UVM), dynamic tensor rematerialization (DTR), and ZeRO-Offload
+// (PGO-based offloading for static NNs). All run over the same traces and
+// cost model as the DyNN-Offload runtime, so comparisons isolate the policy.
+package baselines
+
+import (
+	"fmt"
+
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/sentinel"
+)
+
+// ErrOOM marks an infeasible configuration (the red 'x' in Fig 9).
+type ErrOOM struct {
+	System string
+	Need   int64
+	Have   int64
+}
+
+func (e *ErrOOM) Error() string {
+	return fmt.Sprintf("%s: out of memory: need %d bytes, have %d", e.System, e.Need, e.Have)
+}
+
+// PyTorch simulates unmodified in-memory training: every tensor is resident
+// from first to last use. It fails with ErrOOM if the liveness peak exceeds
+// GPU memory.
+func PyTorch(an *sentinel.Analysis, plat gpusim.Platform) (gpusim.Breakdown, error) {
+	var bd gpusim.Breakdown
+	peak := an.PeakResidentBytes()
+	if peak > plat.GPU.MemBytes {
+		return bd, &ErrOOM{System: "pytorch", Need: peak, Have: plat.GPU.MemBytes}
+	}
+	bd.ComputeNS = an.TotalComputeNS()
+	bd.PeakGPUBytes = peak
+	return bd, nil
+}

@@ -1,0 +1,76 @@
+package baselines
+
+import (
+	"fmt"
+
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/sentinel"
+)
+
+// ZeROConfig tunes the ZeRO-Offload baseline [58]: profiling-guided
+// offloading designed for static transformer models. Its PGO schedule is a
+// capacity-greedy partition without DyNN-Offload's adaptive boundary search,
+// and its optimizer runs on the CPU (the ZeRO-Offload design), modeled as a
+// slowdown on optimizer-phase operators.
+type ZeROConfig struct {
+	CPUOptimizerSlowdown float64 // CPU Adam vs GPU Adam
+}
+
+// DefaultZeROConfig returns the ZeRO-Offload defaults.
+func DefaultZeROConfig() ZeROConfig { return ZeROConfig{CPUOptimizerSlowdown: 4} }
+
+// ErrDynamicModel is returned when ZeRO-Offload is asked to train a DyNN:
+// its PGO schedule assumes an invariant computation graph (§VI-C: "ZeRO-
+// Offload only works for static NN").
+var ErrDynamicModel = fmt.Errorf("zero-offload: profiling-guided schedule requires a static computation graph")
+
+// ZeRO simulates ZeRO-Offload on a static model. pipeline is a pre-built
+// engine-style simulator supplied by the caller (core.Engine.SimulatePartition)
+// so ZeRO executes under identical runtime semantics, differing only in its
+// partition policy and CPU optimizer.
+func ZeRO(an *sentinel.Analysis, plat gpusim.Platform, dynamic bool, cfg ZeROConfig,
+	pipeline func(*sentinel.Analysis, []sentinel.Block) gpusim.Breakdown) (gpusim.Breakdown, error) {
+	var bd gpusim.Breakdown
+	if dynamic {
+		return bd, ErrDynamicModel
+	}
+	total := an.Trace.TotalBytes()
+	if total > plat.GPU.MemBytes+plat.CPUMemBytes {
+		return bd, &ErrOOM{System: "zero-offload", Need: total, Have: plat.GPU.MemBytes + plat.CPUMemBytes}
+	}
+	blocks := greedyPartition(an, plat.GPU.MemBytes/2)
+	if blocks == nil {
+		return bd, &ErrOOM{System: "zero-offload", Need: an.MaxSingleOpBytes(), Have: plat.GPU.MemBytes / 2}
+	}
+	bd = pipeline(an, blocks)
+
+	// CPU optimizer penalty over optimizer-phase records.
+	var optNS int64
+	for _, r := range an.Trace.Records {
+		if r.Phase == "optimizer" {
+			optNS += r.TimeNS
+		}
+	}
+	bd.OverheadNS += int64(float64(optNS) * (cfg.CPUOptimizerSlowdown - 1))
+	return bd, nil
+}
+
+// greedyPartition is the PGO schedule: capacity-greedy segmentation with no
+// adaptive boundary refinement (contrast sentinel.Analysis.Partition).
+func greedyPartition(an *sentinel.Analysis, budget int64) []sentinel.Block {
+	n := an.NumOps()
+	var blocks []sentinel.Block
+	start := 0
+	for start < n {
+		end := start + 1
+		if an.WorkingBytes(sentinel.Block{Start: start, End: end}) > budget {
+			return nil
+		}
+		for end < n && an.WorkingBytes(sentinel.Block{Start: start, End: end + 1}) <= budget {
+			end++
+		}
+		blocks = append(blocks, sentinel.Block{Start: start, End: end})
+		start = end
+	}
+	return blocks
+}

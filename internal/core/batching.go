@@ -1,0 +1,109 @@
+package core
+
+import (
+	"dynnoffload/internal/graph"
+	"dynnoffload/internal/pilot"
+)
+
+// This file implements dynamic batching (§IV-E "Impact of dynamic batching
+// in DyNN"): training samples with different resolved dataflow graphs are
+// batched by merging operators at the same depth with the same signature
+// (TensorFlow-Fold-style depth batching [35]). The paper's two observations
+// hold by construction here and are verified in tests:
+//
+//  1. batching does not change the execution order of each graph's
+//     execution blocks, so pilot-guided prefetch remains valid;
+//  2. batched operators run longer on the GPU, giving migration *more* room
+//     to hide — batching does not compromise DyNN-Offload's effectiveness.
+
+// BatchedOp is one merged operator: Count graphs execute an operator with
+// this signature at this depth.
+type BatchedOp struct {
+	Name  string
+	Depth int
+	Count int
+	// FLOPs and Bytes are the summed single-graph costs.
+	FLOPs int64
+	Bytes int64
+}
+
+// BatchInterference inflates the arithmetic portion of a batched kernel:
+// the paper notes batched operators run longer due to extra cache misses
+// from thread-block scheduling [77] and TLB misses [13].
+const BatchInterference = 1.1
+
+// DynamicBatch merges the resolved forward graphs of several samples by
+// (depth, operator name) — operators of the same kind at the same depth
+// fuse into one launch.
+func DynamicBatch(graphs []*graph.Resolved) []BatchedOp {
+	type key struct {
+		depth int
+		name  string
+	}
+	order := []key{}
+	merged := map[key]*BatchedOp{}
+	for _, g := range graphs {
+		for depth, op := range g.Ops {
+			k := key{depth, op.Name}
+			b, ok := merged[k]
+			if !ok {
+				b = &BatchedOp{Name: op.Name, Depth: depth}
+				merged[k] = b
+				order = append(order, k)
+			}
+			b.Count++
+			b.FLOPs += op.FLOPs
+			b.Bytes += op.Bytes()
+		}
+	}
+	out := make([]BatchedOp, 0, len(order))
+	for _, k := range order {
+		out = append(out, *merged[k])
+	}
+	return out
+}
+
+// BatchedKernelTimeNS models one batched launch: the kernel-launch overhead
+// is paid once instead of count times (the benefit of batching), while the
+// arithmetic runs count times with interference (the cost, §IV-E).
+func BatchedKernelTimeNS(singleNS, launchNS int64, count int) int64 {
+	if count <= 1 {
+		return singleNS
+	}
+	arith := float64(singleNS-launchNS) * float64(count) * BatchInterference
+	return launchNS + int64(arith)
+}
+
+// BatchingReport compares batched vs sequential execution of a set of
+// samples' graphs under this engine's cost model.
+type BatchingReport struct {
+	Graphs          int
+	SequentialOps   int
+	BatchedLaunches int
+	SequentialNS    int64
+	BatchedNS       int64
+}
+
+// SimulateDynamicBatch evaluates the batching benefit for a set of samples
+// of one model context (forward pass, which is where graphs differ).
+func (e *Engine) SimulateDynamicBatch(infos []*pilot.PathInfo) BatchingReport {
+	var rep BatchingReport
+	rep.Graphs = len(infos)
+	var graphs []*graph.Resolved
+	for _, info := range infos {
+		g := &graph.Resolved{Ops: info.Iteration.Forward}
+		graphs = append(graphs, g)
+		for _, op := range g.Ops {
+			rep.SequentialOps++
+			rep.SequentialNS += e.CM.OpTime(op)
+		}
+	}
+	batched := DynamicBatch(graphs)
+	rep.BatchedLaunches = len(batched)
+	launch := e.CM.Dev.LaunchNS
+	for _, b := range batched {
+		single := e.CM.OpTime(&graph.Op{Name: b.Name, FLOPs: b.FLOPs / int64(b.Count)})
+		rep.BatchedNS += BatchedKernelTimeNS(single, launch, b.Count)
+	}
+	return rep
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"dynnoffload/internal/dynn"
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/pilot"
+)
+
+func TestDynamicBatchMergesByDepthAndKind(t *testing.T) {
+	m := dynn.NewVarLSTM(dynn.VarLSTMConfig{Hidden: 32, Batch: 1, Seed: 4})
+	samples := dynn.GenerateSamples(6, 12, 8, 40)
+	ctx, err := pilot.NewModelContext(m, gpusim.NewCostModel(gpusim.RTXPlatform()), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []*pilot.PathInfo
+	for _, s := range samples {
+		info, err := ctx.TruthPath(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		infos = append(infos, info)
+	}
+
+	eng := NewEngine(DefaultConfig(gpusim.RTXPlatform()), nil)
+	rep := eng.SimulateDynamicBatch(infos)
+	if rep.Graphs != len(infos) {
+		t.Errorf("graphs = %d", rep.Graphs)
+	}
+	// Batching must reduce launches and not increase total time.
+	if rep.BatchedLaunches >= rep.SequentialOps {
+		t.Errorf("no merging: %d launches for %d ops", rep.BatchedLaunches, rep.SequentialOps)
+	}
+	if rep.BatchedNS > rep.SequentialNS {
+		t.Errorf("batched %d ns slower than sequential %d ns", rep.BatchedNS, rep.SequentialNS)
+	}
+}
+
+func TestBatchedKernelTime(t *testing.T) {
+	if BatchedKernelTimeNS(100, 20, 1) != 100 {
+		t.Error("single instance must be unchanged")
+	}
+	k4 := BatchedKernelTimeNS(100, 20, 4)
+	// Longer than one instance (paper: batched ops run longer), but cheaper
+	// than four sequential launches... per-op interference keeps it below 4x
+	// plus scheduling slack.
+	if k4 <= 100 {
+		t.Error("batched kernel must run longer than a single instance")
+	}
+	if k4 >= 4*100*2 {
+		t.Error("batched kernel time unreasonably large")
+	}
+}

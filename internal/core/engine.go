@@ -1,0 +1,173 @@
+// Package core is the DyNN-Offload runtime (§IV-E, §V): pilot-guided tensor
+// prefetch over double-buffered GPU memory, an operator counter for CPU/GPU
+// synchronization, evict-then-prefetch migration ordering, on-demand fallback
+// on mis-prediction, and the mis-prediction cache that avoids repeated
+// mis-predictions (§VI-H).
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/pilot"
+)
+
+// Config tunes the runtime.
+type Config struct {
+	Platform gpusim.Platform
+	// HandleMispredictions enables the §IV-E mis-prediction cache: identical
+	// pilot outputs that previously mis-predicted reuse the corrected blocks.
+	HandleMispredictions bool
+	// FaultLatencyNS is charged per execution block when a sample falls back
+	// to on-demand fetching (the tensor-fault handler round trip).
+	FaultLatencyNS int64
+}
+
+// DefaultConfig returns the runtime defaults for a platform.
+func DefaultConfig(p gpusim.Platform) Config {
+	return Config{Platform: p, HandleMispredictions: true, FaultLatencyNS: 25_000}
+}
+
+// Engine simulates DyNN training under DyNN-Offload.
+type Engine struct {
+	Cfg   Config
+	CM    gpusim.CostModel
+	Pilot *pilot.Pilot
+
+	// mis-prediction cache: quantized pilot output -> corrected path key.
+	cache map[string]string
+}
+
+// NewEngine builds a runtime around a trained pilot.
+func NewEngine(cfg Config, p *pilot.Pilot) *Engine {
+	return &Engine{Cfg: cfg, CM: gpusim.NewCostModel(cfg.Platform), Pilot: p, cache: map[string]string{}}
+}
+
+// SampleResult reports one simulated training iteration of one sample.
+type SampleResult struct {
+	Breakdown    gpusim.Breakdown
+	Mispredicted bool
+	CacheHit     bool
+	PilotNS      int64
+	MappingNS    int64
+}
+
+// EpochReport aggregates sample results.
+type EpochReport struct {
+	Breakdown      gpusim.Breakdown
+	Samples        int
+	Mispredictions int
+	CacheHits      int
+	PilotNS        int64
+	MappingNS      int64
+}
+
+// outputKey quantizes a pilot output vector; near-identical outputs collide.
+func outputKey(out []float64) string {
+	var sb strings.Builder
+	for _, v := range out {
+		sb.WriteString(strconv.FormatInt(int64(v+0.5), 10))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// RunSample simulates one training iteration: pilot inference, output→path
+// mapping, mis-prediction check, and double-buffered (or on-demand) execution
+// of the sample's ground-truth iteration.
+func (e *Engine) RunSample(ex *pilot.Example) (SampleResult, error) {
+	var res SampleResult
+
+	resolution := e.Pilot.Resolve(ex)
+	res.PilotNS = resolution.InferNS
+	res.MappingNS = resolution.MapNS
+
+	predKey := ""
+	if resolution.Path != nil {
+		predKey = resolution.Path.Key
+	}
+	// The §IV-E mis-prediction cache: when a pilot output does not match any
+	// path's bookkeeping record exactly (the suspicious case) and an output
+	// like it previously mis-predicted, reuse the recorded correct blocks.
+	// Keying on the (matched path, inexact) pair is the noise-robust analog
+	// of the paper's "if the two outputs are exactly the same".
+	cacheKey := ""
+	if e.Cfg.HandleMispredictions && !resolution.Exact && predKey != "" {
+		cacheKey = predKey
+		if corrected, ok := e.cache[cacheKey]; ok {
+			predKey = corrected
+			res.CacheHit = true
+		}
+	}
+
+	truth := ex.Ctx.PathByKey(ex.TruthKey)
+	if truth == nil {
+		return res, fmt.Errorf("core: unknown truth path %q", ex.TruthKey)
+	}
+	if err := e.checkCapacity(truth); err != nil {
+		return res, err
+	}
+
+	res.Mispredicted = predKey != ex.TruthKey
+	if res.Mispredicted {
+		// Record the corrected resolution for future identical outputs and
+		// for the next offline pilot-training round.
+		if cacheKey != "" {
+			e.cache[cacheKey] = ex.TruthKey
+		}
+		res.Breakdown = e.simulateOnDemand(truth.Analysis, truth.Blocks)
+	} else {
+		res.Breakdown = e.simulatePipelined(truth.Analysis, truth.Blocks)
+	}
+	res.Breakdown.OverheadNS += res.PilotNS + res.MappingNS
+	return res, nil
+}
+
+// checkCapacity enforces the offloading feasibility bound: all tensors must
+// fit in CPU+GPU memory, and the largest single-operator working set must fit
+// in the work buffer.
+func (e *Engine) checkCapacity(info *pilot.PathInfo) error {
+	total := info.Trace.TotalBytes()
+	avail := e.Cfg.Platform.CPUMemBytes + e.Cfg.Platform.GPU.MemBytes
+	if total > avail {
+		return fmt.Errorf("core: model needs %d bytes, CPU+GPU have %d", total, avail)
+	}
+	if maxOp := info.Analysis.MaxSingleOpBytes(); maxOp > e.workBufferBytes() {
+		return fmt.Errorf("core: op working set %d exceeds work buffer %d", maxOp, e.workBufferBytes())
+	}
+	return nil
+}
+
+// workBufferBytes is half of GPU memory: the double-buffer split (§IV-E,
+// "GPU memory is partitioned into two equal-sized buffers").
+func (e *Engine) workBufferBytes() int64 { return e.Cfg.Platform.GPU.MemBytes / 2 }
+
+// RunEpoch simulates one epoch (one iteration per example) and aggregates.
+func (e *Engine) RunEpoch(examples []*pilot.Example) (EpochReport, error) {
+	var rep EpochReport
+	for _, ex := range examples {
+		r, err := e.RunSample(ex)
+		if err != nil {
+			return rep, err
+		}
+		rep.Breakdown = rep.Breakdown.Add(r.Breakdown)
+		rep.Samples++
+		if r.Mispredicted {
+			rep.Mispredictions++
+		}
+		if r.CacheHit {
+			rep.CacheHits++
+		}
+		rep.PilotNS += r.PilotNS
+		rep.MappingNS += r.MappingNS
+	}
+	return rep, nil
+}
+
+// ResetCache clears the mis-prediction cache (between experiments).
+func (e *Engine) ResetCache() { e.cache = map[string]string{} }
+
+// CacheSize returns the number of recorded mis-prediction outputs.
+func (e *Engine) CacheSize() int { return len(e.cache) }

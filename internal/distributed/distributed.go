@@ -1,0 +1,80 @@
+// Package distributed models data-parallel multi-GPU training for the
+// paper's Fig 10 scalability study: each GPU trains its own batch under
+// DyNN-Offload, and gradients are synchronized per iteration with a ring
+// all-reduce over the inter-GPU interconnect.
+package distributed
+
+import (
+	"fmt"
+
+	"dynnoffload/internal/gpusim"
+)
+
+// Config describes the data-parallel run.
+type Config struct {
+	Platform    gpusim.Platform
+	NumGPUs     int
+	GradBytes   int64 // gradient volume all-reduced per iteration
+	PerGPUBatch int
+}
+
+// Result reports one scaling point.
+type Result struct {
+	NumGPUs            int
+	IterNS             int64 // per-iteration wall time
+	AllReduceNS        int64
+	ThroughputPerSec   float64 // samples/second
+	ScalingEfficiency  float64 // vs linear scaling from 1 GPU
+	OffloadOverheadNS  int64   // pilot + mapping overhead (constant per GPU)
+	MispredictOnDemand int64   // exposed on-demand time from mis-predictions
+}
+
+// RingAllReduceNS returns the time of a ring all-reduce of n bytes across g
+// GPUs: 2(g-1)/g of the data crosses each link, plus per-step latency.
+func RingAllReduceNS(link gpusim.LinkSpec, bytes int64, gpus int) int64 {
+	if gpus <= 1 {
+		return 0
+	}
+	steps := int64(2 * (gpus - 1))
+	volume := float64(2*(gpus-1)) / float64(gpus) * float64(bytes)
+	return int64(volume/link.BW*1e9) + steps*link.LatencyNS
+}
+
+// Scale evaluates throughput at each GPU count given the single-GPU
+// per-iteration time (which already includes DyNN-Offload's overheads —
+// Fig 10's observation is that those overheads stay constant with scale).
+func Scale(cfg Config, singleGPUIterNS, overheadNS, onDemandNS int64, gpuCounts []int) ([]Result, error) {
+	if cfg.NumGPUs <= 0 {
+		return nil, fmt.Errorf("distributed: NumGPUs must be positive")
+	}
+	var out []Result
+	var baseThroughput float64
+	for _, g := range gpuCounts {
+		if g <= 0 || g > cfg.NumGPUs {
+			return nil, fmt.Errorf("distributed: %d GPUs out of range (max %d)", g, cfg.NumGPUs)
+		}
+		// Intra-node GPUs use the fast interconnect; crossing nodes (beyond
+		// the per-node GPU count) falls back to the PCIe link.
+		link := cfg.Platform.InterGPU
+		if g > cfg.Platform.NumGPUs {
+			link = cfg.Platform.Link
+		}
+		ar := RingAllReduceNS(link, cfg.GradBytes, g)
+		iter := singleGPUIterNS + ar
+		tput := float64(g*cfg.PerGPUBatch) / (float64(iter) / 1e9)
+		r := Result{
+			NumGPUs:            g,
+			IterNS:             iter,
+			AllReduceNS:        ar,
+			ThroughputPerSec:   tput,
+			OffloadOverheadNS:  overheadNS,
+			MispredictOnDemand: onDemandNS,
+		}
+		if g == gpuCounts[0] {
+			baseThroughput = tput / float64(g)
+		}
+		r.ScalingEfficiency = tput / (baseThroughput * float64(g))
+		out = append(out, r)
+	}
+	return out, nil
+}

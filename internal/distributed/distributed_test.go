@@ -1,0 +1,68 @@
+package distributed
+
+import (
+	"testing"
+
+	"dynnoffload/internal/gpusim"
+)
+
+func TestRingAllReduce(t *testing.T) {
+	link := gpusim.LinkSpec{BW: 10e9, LatencyNS: 1000}
+	if RingAllReduceNS(link, 1<<30, 1) != 0 {
+		t.Error("single GPU needs no all-reduce")
+	}
+	two := RingAllReduceNS(link, 1<<30, 2)
+	four := RingAllReduceNS(link, 1<<30, 4)
+	if two <= 0 || four <= two {
+		t.Errorf("all-reduce times wrong: 2gpu=%d 4gpu=%d", two, four)
+	}
+	// Ring volume converges to 2x data; 4-GPU time < 2x the 2-GPU time.
+	if four >= 2*two {
+		t.Errorf("ring scaling wrong: %d vs %d", four, two)
+	}
+}
+
+func TestScaleThroughput(t *testing.T) {
+	cfg := Config{
+		Platform:    gpusim.A100Platform(),
+		NumGPUs:     8,
+		GradBytes:   1 << 28,
+		PerGPUBatch: 20,
+	}
+	res, err := Scale(cfg, 50_000_000, 100_000, 10_000, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].ThroughputPerSec <= res[i-1].ThroughputPerSec {
+			t.Errorf("throughput must grow with GPUs: %v", res)
+		}
+	}
+	if res[0].ScalingEfficiency != 1 {
+		t.Errorf("base efficiency = %v", res[0].ScalingEfficiency)
+	}
+	// Efficiency declines with scale (communication) but stays positive.
+	if res[3].ScalingEfficiency >= res[1].ScalingEfficiency {
+		t.Error("efficiency must decline beyond the node boundary")
+	}
+	// Offload overhead is scale-independent (paper's Fig 10 point).
+	for _, r := range res {
+		if r.OffloadOverheadNS != 100_000 {
+			t.Errorf("overhead changed with scale: %d", r.OffloadOverheadNS)
+		}
+	}
+}
+
+func TestScaleErrors(t *testing.T) {
+	cfg := Config{Platform: gpusim.A100Platform(), NumGPUs: 4, GradBytes: 1, PerGPUBatch: 1}
+	if _, err := Scale(cfg, 1, 0, 0, []int{8}); err == nil {
+		t.Error("exceeding NumGPUs must error")
+	}
+	cfg.NumGPUs = 0
+	if _, err := Scale(cfg, 1, 0, 0, []int{1}); err == nil {
+		t.Error("zero GPUs must error")
+	}
+}

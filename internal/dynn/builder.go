@@ -1,0 +1,226 @@
+package dynn
+
+import (
+	"fmt"
+
+	"dynnoffload/internal/graph"
+	"dynnoffload/internal/idiom"
+	"dynnoffload/internal/tensor"
+)
+
+// builder accumulates operators, weights and training state while a model
+// constructor assembles its static architecture. Weights are cached by name
+// so branch arms and unrolled timesteps can share parameters (a weight named
+// once is one tensor however many ops reference it).
+type builder struct {
+	reg     *tensor.Registry
+	weights map[string]*tensor.Meta
+	states  []*graph.WeightState
+	adam    bool
+}
+
+func newBuilder(adam bool) *builder {
+	return &builder{reg: &tensor.Registry{}, weights: map[string]*tensor.Meta{}, adam: adam}
+}
+
+// weight returns the named weight tensor, creating it (and its training
+// state) on first use.
+func (b *builder) weight(name string, shape ...int) *tensor.Meta {
+	if w, ok := b.weights[name]; ok {
+		if len(w.Shape) != len(shape) {
+			panic(fmt.Sprintf("dynn: weight %q reused with rank %d, was %d", name, len(shape), len(w.Shape)))
+		}
+		for i, d := range shape {
+			if w.Shape[i] != d {
+				panic(fmt.Sprintf("dynn: weight %q reused with shape %v, was %v", name, shape, w.Shape))
+			}
+		}
+		return w
+	}
+	w := b.reg.New(name, tensor.Weight, tensor.F32, shape...)
+	b.weights[name] = w
+	b.states = append(b.states, graph.NewWeightState(b.reg, w, b.adam))
+	return w
+}
+
+// act creates a fresh activation tensor.
+func (b *builder) act(name string, shape ...int) *tensor.Meta {
+	return b.reg.New(name, tensor.Activation, tensor.F32, shape...)
+}
+
+// input creates an input tensor (not trainable, not rematerializable).
+func (b *builder) input(name string, shape ...int) *tensor.Meta {
+	return b.reg.New(name, tensor.Input, tensor.F32, shape...)
+}
+
+// op appends one operator element.
+func op(name string, flops int64, ins []*tensor.Meta, outs []*tensor.Meta) graph.Elem {
+	return graph.OpElem{Op: graph.NewOp(name, flops, ins, outs)}
+}
+
+// seq is a convenience for building element lists.
+func seq(elems ...graph.Elem) []graph.Elem { return elems }
+
+// linear emits y = act(x·W + bias): matmul + bias_add, returning the output
+// activation. x has shape [batch, seqLen, in] (seqLen may be 1).
+func (b *builder) linear(prefix string, x *tensor.Meta, out int) (*tensor.Meta, []graph.Elem) {
+	shape := x.Shape
+	in := shape[len(shape)-1]
+	rows := int64(1)
+	for _, d := range shape[:len(shape)-1] {
+		rows *= int64(d)
+	}
+	w := b.weight(prefix+".w", in, out)
+	bias := b.weight(prefix+".b", out)
+	outShape := append(append([]int{}, shape[:len(shape)-1]...), out)
+	y := b.act(prefix+".y", outShape...)
+	elems := []graph.Elem{
+		op("matmul", 2*rows*int64(in)*int64(out), []*tensor.Meta{x, w}, []*tensor.Meta{y}),
+		op("bias_add", rows*int64(out), []*tensor.Meta{y, bias}, []*tensor.Meta{y}),
+	}
+	return y, elems
+}
+
+// activationOp emits an element-wise nonlinearity in place.
+func (b *builder) activationOp(name string, x *tensor.Meta) []graph.Elem {
+	return seq(op(name, x.Elems(), []*tensor.Meta{x}, []*tensor.Meta{x}))
+}
+
+// norm emits a layernorm with learned scale/shift.
+func (b *builder) norm(prefix string, x *tensor.Meta) (*tensor.Meta, []graph.Elem) {
+	dim := x.Shape[len(x.Shape)-1]
+	gamma := b.weight(prefix+".gamma", dim)
+	beta := b.weight(prefix+".beta", dim)
+	y := b.act(prefix+".y", x.Shape...)
+	return y, seq(op("layernorm", 5*x.Elems(), []*tensor.Meta{x, gamma, beta}, []*tensor.Meta{y}))
+}
+
+// residual emits y = x + r.
+func (b *builder) residual(prefix string, x, r *tensor.Meta) (*tensor.Meta, []graph.Elem) {
+	y := b.act(prefix+".y", x.Shape...)
+	return y, seq(op("residual_add", x.Elems(), []*tensor.Meta{x, r}, []*tensor.Meta{y}))
+}
+
+// attention emits a standard multi-head self-attention over x with shape
+// [batch, seq, hidden]: QKV projections, scores, softmax, context, output
+// projection, residual.
+func (b *builder) attention(prefix string, x *tensor.Meta, heads int) (*tensor.Meta, []graph.Elem) {
+	shape := x.Shape
+	batch, seqLen, hidden := shape[0], shape[1], shape[2]
+	var elems []graph.Elem
+
+	q, e := b.linear(prefix+".q", x, hidden)
+	elems = append(elems, e...)
+	k, e := b.linear(prefix+".k", x, hidden)
+	elems = append(elems, e...)
+	v, e := b.linear(prefix+".v", x, hidden)
+	elems = append(elems, e...)
+
+	scores := b.act(prefix+".scores", batch, heads, seqLen, seqLen)
+	flopsScores := 2 * int64(batch) * int64(seqLen) * int64(seqLen) * int64(hidden)
+	elems = append(elems, op("attention_scores", flopsScores, []*tensor.Meta{q, k}, []*tensor.Meta{scores}))
+	elems = append(elems, op("attention_softmax", 5*scores.Elems(), []*tensor.Meta{scores}, []*tensor.Meta{scores}))
+	ctx := b.act(prefix+".ctx", batch, seqLen, hidden)
+	elems = append(elems, op("attention_context", flopsScores, []*tensor.Meta{scores, v}, []*tensor.Meta{ctx}))
+
+	o, e := b.linear(prefix+".o", ctx, hidden)
+	elems = append(elems, e...)
+	res, e := b.residual(prefix+".res", o, x)
+	elems = append(elems, e...)
+	return res, elems
+}
+
+// ffn emits the transformer feed-forward block: linear(4h) + gelu +
+// linear(h) + residual.
+func (b *builder) ffn(prefix string, x *tensor.Meta, inner int) (*tensor.Meta, []graph.Elem) {
+	var elems []graph.Elem
+	h1, e := b.linear(prefix+".fc1", x, inner)
+	elems = append(elems, e...)
+	elems = append(elems, b.activationOp("gelu", h1)...)
+	h2, e := b.linear(prefix+".fc2", h1, x.Shape[len(x.Shape)-1])
+	elems = append(elems, e...)
+	res, e := b.residual(prefix+".res", h2, x)
+	elems = append(elems, e...)
+	return res, elems
+}
+
+// transformerLayer emits norm+attention+norm+ffn for layer `idx`.
+func (b *builder) transformerLayer(prefix string, x *tensor.Meta, heads, inner int) (*tensor.Meta, []graph.Elem) {
+	var elems []graph.Elem
+	n1, e := b.norm(prefix+".ln1", x)
+	elems = append(elems, e...)
+	a, e := b.attention(prefix+".attn", n1, heads)
+	elems = append(elems, e...)
+	n2, e := b.norm(prefix+".ln2", a)
+	elems = append(elems, e...)
+	f, e := b.ffn(prefix+".ffn", n2, inner)
+	elems = append(elems, e...)
+	return f, elems
+}
+
+// embedding emits the token-embedding lookup producing [batch, seq, hidden].
+func (b *builder) embedding(prefix string, vocab, batch, seqLen, hidden int) (*tensor.Meta, []graph.Elem) {
+	tok := b.input(prefix+".tokens", batch, seqLen)
+	table := b.weight(prefix+".table", vocab, hidden)
+	y := b.act(prefix+".emb", batch, seqLen, hidden)
+	return y, seq(op("embedding", y.Elems(), []*tensor.Meta{tok, table}, []*tensor.Meta{y}))
+}
+
+// conv emits a conv2d over [batch, c, h, w] producing outC channels, plus a
+// ReLU, as the zoo's CNN building block.
+func (b *builder) conv(prefix string, x *tensor.Meta, outC, kernel int) (*tensor.Meta, []graph.Elem) {
+	shape := x.Shape
+	if len(shape) != 4 {
+		panic(fmt.Sprintf("dynn: conv input must be 4-D, got %v", shape))
+	}
+	batch, inC, h, w := shape[0], shape[1], shape[2], shape[3]
+	k := b.weight(prefix+".k", outC, inC, kernel, kernel)
+	y := b.act(prefix+".y", batch, outC, h, w)
+	flops := 2 * int64(batch) * int64(outC) * int64(inC) * int64(h) * int64(w) * int64(kernel*kernel)
+	elems := seq(op("conv2d", flops, []*tensor.Meta{x, k}, []*tensor.Meta{y}))
+	elems = append(elems, b.activationOp("relu", y)...)
+	return y, elems
+}
+
+// pool emits a 2x2 max-pool halving spatial dims.
+func (b *builder) pool(prefix string, x *tensor.Meta) (*tensor.Meta, []graph.Elem) {
+	shape := x.Shape
+	y := b.act(prefix+".y", shape[0], shape[1], shape[2]/2, shape[3]/2)
+	return y, seq(op("maxpool", x.Elems(), []*tensor.Meta{x}, []*tensor.Meta{y}))
+}
+
+// marker emits the routing-metadata operator that makes a (site, arm) choice
+// structurally observable in the bookkeeping record: the width of its int8
+// metadata tensor encodes the decision positionally (base 5 within one of the
+// three dimension columns of the nine-element signature), so every resolution
+// path of a model has a bookkeeping record that differs from every other
+// path's by a large margin — which is what makes the §IV-B output→path
+// mapping well-defined and robust to pilot regression noise. Real DyNN branch
+// arms differ in operator structure (different node CNNs, expert widths,
+// unroll lengths); this makes the same true for arms that would otherwise be
+// shape-identical, at negligible memory cost (int8, ≤400 KiB).
+// markers emits (arm+1) router-operator instances for a control site. Each
+// site owns one idiom column (site mod 6): the router ops concentrate their
+// idiom counts there, so the arm choice is legible in execution-block
+// descriptors with per-column separation independent of other sites.
+func (b *builder) markers(site, arm int) []graph.Elem {
+	name := idiom.RouterOpNames[site%idiom.NumIdioms]
+	out := make([]graph.Elem, 0, arm+1)
+	for k := 0; k <= arm; k++ {
+		t := b.reg.New(fmt.Sprintf("ctl.s%d.a%d.%d", site, arm, k), tensor.Input, tensor.I8, 16)
+		o := b.act(fmt.Sprintf("ctl.s%d.a%d.%d.out", site, arm, k), 1)
+		out = append(out, op(name, 16, []*tensor.Meta{t}, []*tensor.Meta{o}))
+	}
+	return out
+}
+
+// lstmStep emits one LSTM timestep over [batch, hidden] given input xt and
+// previous cell state, returning the new hidden state.
+func (b *builder) lstmStep(prefix string, xt, hPrev *tensor.Meta, hidden int) (*tensor.Meta, []graph.Elem) {
+	batch := xt.Shape[0]
+	in := xt.Shape[len(xt.Shape)-1]
+	w := b.weight(prefix+".w", in+hidden, 4*hidden)
+	hNext := b.act(prefix+".h", batch, hidden)
+	flops := 2 * int64(batch) * int64(in+hidden) * int64(4*hidden)
+	return hNext, seq(op("lstm_cell", flops, []*tensor.Meta{xt, hPrev, w}, []*tensor.Meta{hNext}))
+}

@@ -1,0 +1,256 @@
+// Package dynn is the dynamic-neural-network model zoo (paper Table II):
+// Tree-CNN, Tree-LSTM, var-BERT, var-LSTM, MoE, UGAN, an AlphaFold-style
+// evoformer, and the static baselines fixed-BERT and fixed-LSTM. Each model
+// produces a static architecture (operators + control-flow sites) and
+// resolves it per input sample with ground-truth control decisions that are
+// deterministic, *learnable* functions of the sample embedding — the paper's
+// premise that "the input sample provides indications" of the dynamism, which
+// PGO cannot exploit but a pilot model can learn.
+//
+// The zoo replaces PyTorch model implementations: offloading policies only
+// observe the operator/tensor stream, which the zoo reproduces with realistic
+// per-operator FLOPs and tensor shapes (see DESIGN.md §2).
+package dynn
+
+import (
+	"fmt"
+	"math"
+
+	"dynnoffload/internal/graph"
+	"dynnoffload/internal/mathx"
+	"dynnoffload/internal/tensor"
+)
+
+// BaseType is the basic NN type of a DyNN (§IV-C): it selects which of the
+// pilot model's three parallel MLPs handles the sample.
+type BaseType int
+
+const (
+	CNN BaseType = iota
+	LSTM
+	Transformer
+
+	NumBaseTypes = 3
+)
+
+func (b BaseType) String() string {
+	switch b {
+	case CNN:
+		return "cnn"
+	case LSTM:
+		return "lstm"
+	case Transformer:
+		return "transformer"
+	}
+	return fmt.Sprintf("basetype(%d)", int(b))
+}
+
+// EmbedDim is the fixed embedding width the pilot model consumes. The paper
+// re-directs the DyNN's own embedding output to the pilot (§IV-C
+// "embedding re-direction"); here the sample generator plays the embedding
+// kernel's role.
+const EmbedDim = 32
+
+// Sample is one DyNN training sample: a token sequence plus its embedding.
+type Sample struct {
+	ID     int
+	Tokens []int
+	Embed  []float64 // length EmbedDim
+}
+
+// embedTable is the shared token-embedding table (the DyNN's embedding layer
+// whose output is re-directed to the pilot model). Fixed seed: embeddings
+// are a property of the vocabulary, not of any experiment.
+var embedTable = buildEmbedTable(4096, 0xe5bed)
+
+func buildEmbedTable(vocab int, seed uint64) [][]float64 {
+	rng := mathx.NewRNG(seed)
+	t := make([][]float64, vocab)
+	for i := range t {
+		t[i] = make([]float64, EmbedDim)
+		rng.NormVec(t[i], 1)
+	}
+	return t
+}
+
+// Vocab is the synthetic vocabulary size.
+func Vocab() int { return len(embedTable) }
+
+// EmbedTokens computes the bag-of-tokens embedding of a token sequence: the
+// mean of the token vectors, with the last two features replaced by
+// normalized length and type/token ratio (structure hints).
+func EmbedTokens(tokens []int) []float64 {
+	e := make([]float64, EmbedDim)
+	if len(tokens) == 0 {
+		return e
+	}
+	for _, t := range tokens {
+		v := embedTable[t%len(embedTable)]
+		for j := range e {
+			e[j] += v[j]
+		}
+	}
+	inv := 1 / float64(len(tokens))
+	for j := range e {
+		e[j] *= inv
+	}
+	distinct := map[int]bool{}
+	for _, t := range tokens {
+		distinct[t] = true
+	}
+	e[EmbedDim-2] = float64(len(tokens)) / 128.0
+	e[EmbedDim-1] = float64(len(distinct)) / float64(len(tokens))
+	return e
+}
+
+// GenerateSamples builds n seeded samples with lengths in [minLen, maxLen].
+// Token distributions are Zipf-ish (small IDs more common) so samples differ
+// structurally, like natural-language corpora.
+func GenerateSamples(seed uint64, n, minLen, maxLen int) []*Sample {
+	rng := mathx.NewRNG(seed)
+	out := make([]*Sample, n)
+	for i := range out {
+		r := rng.Fork(uint64(i))
+		length := minLen
+		if maxLen > minLen {
+			length += r.Intn(maxLen - minLen + 1)
+		}
+		tokens := make([]int, length)
+		for j := range tokens {
+			// Zipf-like: squash a uniform draw.
+			u := r.Float64()
+			tokens[j] = int(u * u * float64(Vocab()-1))
+		}
+		out[i] = &Sample{ID: i, Tokens: tokens, Embed: EmbedTokens(tokens)}
+	}
+	return out
+}
+
+// Decider maps a sample embedding to ground-truth control decisions: each
+// site has a fixed random linear boundary over the embedding. The mapping is
+// deterministic per (model seed, site) — exactly the structure the paper's
+// pilot model exploits — while appearing irregular to profiling (Table I).
+type Decider struct {
+	w    [][]float64
+	bias []float64
+}
+
+// decisionGain spreads the sigmoid of the linear score so decisions use the
+// full arm range across realistic embedding magnitudes.
+const decisionGain = 2.5
+
+// NewDecider builds per-site boundaries for numSites control sites.
+func NewDecider(seed uint64, numSites int) *Decider {
+	rng := mathx.NewRNG(seed)
+	d := &Decider{
+		w:    make([][]float64, numSites),
+		bias: make([]float64, numSites),
+	}
+	for i := range d.w {
+		d.w[i] = make([]float64, EmbedDim)
+		r := rng.Fork(uint64(i))
+		r.NormVec(d.w[i], 1)
+		d.bias[i] = r.Norm() * 0.3
+	}
+	return d
+}
+
+// Score returns the raw linear score for a site.
+func (d *Decider) Score(site int, embed []float64) float64 {
+	return (mathx.Dot(d.w[site], embed) + d.bias[site]) * decisionGain
+}
+
+// Decide returns the decision vector for a sample given the per-site
+// decision ranges.
+func (d *Decider) Decide(embed []float64, ranges []int) []int {
+	out := make([]int, len(ranges))
+	for site, r := range ranges {
+		if r <= 1 {
+			out[site] = 0
+			continue
+		}
+		p := 1 / (1 + math.Exp(-d.Score(site, embed)))
+		arm := int(p * float64(r))
+		if arm >= r {
+			arm = r - 1
+		}
+		out[site] = arm
+	}
+	return out
+}
+
+// Model is one zoo entry.
+type Model interface {
+	// Name returns the workload name as in Table II (e.g. "var-BERT").
+	Name() string
+	// Base returns the basic NN type, one of the pilot's three MLPs.
+	Base() BaseType
+	// Static returns the static architecture (shared across samples).
+	Static() *graph.Static
+	// WeightStates returns the persistent per-weight training state.
+	WeightStates() []*graph.WeightState
+	// Registry returns the tensor registry used by this model instance.
+	Registry() *tensor.Registry
+	// Decide returns the ground-truth control decisions for a sample.
+	Decide(s *Sample) []int
+	// Resolve linearizes the forward graph for a sample.
+	Resolve(s *Sample) (*graph.Resolved, error)
+	// Dynamic reports whether the model has any control-flow sites.
+	Dynamic() bool
+}
+
+// base carries the shared Model implementation.
+type base struct {
+	name     string
+	baseType BaseType
+	static   *graph.Static
+	states   []*graph.WeightState
+	reg      *tensor.Registry
+	decider  *Decider
+	ranges   []int
+}
+
+func (b *base) Name() string                       { return b.name }
+func (b *base) Base() BaseType                     { return b.baseType }
+func (b *base) Static() *graph.Static              { return b.static }
+func (b *base) WeightStates() []*graph.WeightState { return b.states }
+func (b *base) Registry() *tensor.Registry         { return b.reg }
+func (b *base) Dynamic() bool                      { return b.static.NumSites > 0 }
+
+func (b *base) Decide(s *Sample) []int {
+	if b.static.NumSites == 0 {
+		return nil
+	}
+	return b.decider.Decide(s.Embed, b.ranges)
+}
+
+func (b *base) Resolve(s *Sample) (*graph.Resolved, error) {
+	return graph.Resolve(b.static, b.Decide(s))
+}
+
+// finish validates the static architecture and caches decision ranges.
+func (b *base) finish() {
+	if err := b.static.Validate(); err != nil {
+		panic(fmt.Sprintf("dynn: %s: %v", b.name, err))
+	}
+	b.ranges = b.static.DecisionRange()
+}
+
+// ParamCount sums weight elements across a model's weight states.
+func ParamCount(m Model) int64 {
+	var n int64
+	for _, ws := range m.WeightStates() {
+		n += ws.Weight.Elems()
+	}
+	return n
+}
+
+// StateBytes sums persistent training-state bytes (weights, gradients,
+// optimizer moments) — the memory DTR cannot evict and ZeRO offloads.
+func StateBytes(m Model) int64 {
+	var n int64
+	for _, ws := range m.WeightStates() {
+		n += ws.Bytes()
+	}
+	return n
+}

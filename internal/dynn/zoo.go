@@ -1,0 +1,109 @@
+package dynn
+
+import "fmt"
+
+// ZooEntry describes one Table II workload: its name, base type, dynamism,
+// and a constructor at "bench" scale (sized so full training iterations
+// simulate quickly while preserving the model's memory/compute character).
+type ZooEntry struct {
+	Name     string
+	Base     BaseType
+	Dynamic  bool
+	Dynamism string // Table II description
+	New      func(batch int, seed uint64) Model
+}
+
+// Zoo returns the paper's Table II workloads plus AlphaFold, at bench scale.
+func Zoo() []ZooEntry {
+	return []ZooEntry{
+		{
+			Name: "Tree-CNN", Base: CNN, Dynamic: true,
+			Dynamism: "parse-tree structure selects per-node CNNs",
+			New: func(batch int, seed uint64) Model {
+				return NewTreeCNN(TreeCNNConfig{Levels: 6, Types: 2, Channels: 64, Width: 16, Batch: batch, Seed: seed})
+			},
+		},
+		{
+			Name: "Tree-LSTM", Base: LSTM, Dynamic: true,
+			Dynamism: "composition order selects gating weights",
+			New: func(batch int, seed uint64) Model {
+				return NewTreeLSTM(TreeLSTMConfig{Levels: 6, Hidden: 512, SeqLen: 16, Batch: batch, Seed: seed})
+			},
+		},
+		{
+			Name: "var-BERT", Base: Transformer, Dynamic: true,
+			Dynamism: "input-dependent layer-group depth (early exit)",
+			New: func(batch int, seed uint64) Model {
+				return NewVarBERT(VarBERTConfig{Layers: 12, Hidden: 1024, SeqLen: 128, Batch: batch, Groups: 6, Seed: seed})
+			},
+		},
+		{
+			Name: "var-LSTM", Base: LSTM, Dynamic: true,
+			Dynamism: "sequence-length buckets + optional backward pass",
+			New: func(batch int, seed uint64) Model {
+				return NewVarLSTM(VarLSTMConfig{Hidden: 512, Batch: batch, Seed: seed})
+			},
+		},
+		{
+			Name: "MoE", Base: Transformer, Dynamic: true,
+			Dynamism: "top-1 expert routing per MoE layer",
+			New: func(batch int, seed uint64) Model {
+				return NewMoE(MoEConfig{Layers: 4, Hidden: 1024, SeqLen: 64, Experts: 4, Batch: batch, Seed: seed})
+			},
+		},
+		{
+			Name: "UGAN", Base: CNN, Dynamic: true,
+			Dynamism: "U-Net depth + discriminator depth",
+			New: func(batch int, seed uint64) Model {
+				return NewUGAN(UGANConfig{BaseChannels: 48, ImgSize: 64, Batch: batch, Seed: seed})
+			},
+		},
+		{
+			Name: "AlphaFold", Base: Transformer, Dynamic: true,
+			Dynamism: "MSA buckets, template usage, recycling count",
+			New: func(batch int, seed uint64) Model {
+				return NewAlphaFold(AlphaFoldConfig{Blocks: 3, SeqLen: 96, MSADim: 64, PairDim: 64, Batch: batch, Seed: seed})
+			},
+		},
+		{
+			Name: "fixed-BERT", Base: Transformer, Dynamic: false,
+			Dynamism: "none (static baseline)",
+			New: func(batch int, seed uint64) Model {
+				return NewFixedBERT(VarBERTConfig{Layers: 12, Hidden: 1024, SeqLen: 128, Batch: batch, Seed: seed})
+			},
+		},
+		{
+			Name: "fixed-LSTM", Base: LSTM, Dynamic: false,
+			Dynamism: "none (static baseline)",
+			New: func(batch int, seed uint64) Model {
+				return NewVarLSTM(VarLSTMConfig{Hidden: 512, Batch: batch, Seed: seed, Static: true})
+			},
+		},
+	}
+}
+
+// ZooModel builds the named zoo entry, or returns an error listing valid
+// names.
+func ZooModel(name string, batch int, seed uint64) (Model, error) {
+	for _, e := range Zoo() {
+		if e.Name == name {
+			return e.New(batch, seed), nil
+		}
+	}
+	var names []string
+	for _, e := range Zoo() {
+		names = append(names, e.Name)
+	}
+	return nil, fmt.Errorf("dynn: unknown model %q (have %v)", name, names)
+}
+
+// DynamicZoo returns only the dynamic entries (the DyNNs of Table II).
+func DynamicZoo() []ZooEntry {
+	var out []ZooEntry
+	for _, e := range Zoo() {
+		if e.Dynamic {
+			out = append(out, e)
+		}
+	}
+	return out
+}

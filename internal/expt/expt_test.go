@@ -1,0 +1,126 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTablePrinting(t *testing.T) {
+	tab := &Table{
+		Title:  "t",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "22"}, {"333", "4"}},
+		Notes:  []string{"n"},
+	}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== t ==", "333", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableI(t *testing.T) {
+	tab := TableI(300, 1)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 buckets", len(tab.Rows))
+	}
+	// The paper's point: wide divergence. The mean JD is in the note.
+	if len(tab.Notes) == 0 || !strings.Contains(tab.Notes[0], "mean JD") {
+		t.Error("missing summary note")
+	}
+}
+
+func TestTableII(t *testing.T) {
+	tab := TableII()
+	if len(tab.Rows) != 9 {
+		t.Errorf("rows = %d, want 9 workloads", len(tab.Rows))
+	}
+}
+
+func TestHeuristicStudyLowCorrelation(t *testing.T) {
+	tab := HeuristicStudy(600, 1)
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// §II-C: correlations must be weak (paper: <= 0.25).
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			v := strings.TrimPrefix(cell, "+")
+			v = strings.TrimPrefix(v, "-")
+			if v > "0.4" && len(v) == 5 { // "0.xxx" lexical compare is safe here
+				t.Errorf("correlation too strong for the heuristic story: %s", cell)
+			}
+		}
+	}
+}
+
+func TestLargestModelShape(t *testing.T) {
+	tab := LargestModel(128, 1)
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (4 systems x 2 sweeps)", len(tab.Rows))
+	}
+	// DyNN-Offload must beat PyTorch in both sweeps (the headline result).
+	for _, i := range []int{3, 7} {
+		if !strings.HasSuffix(tab.Rows[i][5], "x") || tab.Rows[i][5] <= "1.0x" {
+			t.Errorf("dynn-offload row %d not ahead of pytorch: %v", i, tab.Rows[i])
+		}
+	}
+}
+
+func TestTableIIIOrdering(t *testing.T) {
+	tab := TableIII(24, 1024, 512)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	batch := func(i int) string { return tab.Rows[i][1] }
+	// DyNN-Offload must allow the largest batch (Table III headline).
+	if atoiOr0(batch(3)) <= atoiOr0(batch(0)) {
+		t.Errorf("dynn-offload batch %s not above pytorch %s", batch(3), batch(0))
+	}
+}
+
+func atoiOr0(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// testWorkbench builds a tiny shared fixture for the workbench-driven tests.
+func testWorkbench(t *testing.T) *Workbench {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.TrainSamples = 200
+	opts.TestSamples = 60
+	opts.Epochs = 6
+	opts.Neurons = 64
+	wb, err := NewWorkbench(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wb
+}
+
+func TestWorkbenchExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workbench construction is expensive")
+	}
+	wb := testWorkbench(t)
+	for name, run := range map[string]func(*Workbench) *Table{
+		"fig7": Fig7, "fig8": Fig8, "fig9": Fig9, "fig10": Fig10,
+		"fig12": Fig12, "mispred": Mispredictions,
+		"mispred-handling": MispredHandling, "overhead": Overhead,
+	} {
+		tab := run(wb)
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", name)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package expt
+
+import (
+	"errors"
+	"fmt"
+
+	"dynnoffload/internal/baselines"
+	"dynnoffload/internal/core"
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/pilot"
+)
+
+// fig9Fractions are the GPU-memory budgets swept (fraction of the model's
+// footprint). At 1.1 everything fits (the unmodified-PyTorch reference
+// point); smaller budgets expose the policies' degradation curves.
+var fig9Fractions = []float64{1.1, 0.8, 0.6, 0.45, 0.3, 0.2}
+
+// Fig9 reproduces the memory-budget sweep (Fig 9): per-iteration time of
+// PyTorch, DTR, and DyNN-Offload as the GPU budget shrinks. Paper
+// observations: DyNN-Offload beats DTR by ~12% on average (up to 28%); DTR
+// degrades superlinearly (recompute chains lengthen), DyNN-Offload degrades
+// ~linearly until PCIe bandwidth saturates; 'x' marks infeasible budgets.
+func Fig9(wb *Workbench) *Table {
+	t := &Table{
+		Title:  "Fig 9 — per-iteration time (ms) vs GPU memory budget (fraction of model footprint)",
+		Header: []string{"model", "system"},
+	}
+	for _, f := range fig9Fractions {
+		t.Header = append(t.Header, fmt.Sprintf("%.0f%%", f*100))
+	}
+
+	for _, mb := range wb.Models {
+		if !mb.Entry.Dynamic {
+			continue
+		}
+		// The representative path: the most common truth path in the test set.
+		counts := map[string]int{}
+		for _, ex := range mb.Test {
+			counts[ex.TruthKey]++
+		}
+		bestKey, bestN := "", 0
+		for k, n := range counts {
+			if n > bestN {
+				bestKey, bestN = k, n
+			}
+		}
+		info := mb.Ctx.PathByKey(bestKey)
+		total := info.Trace.TotalBytes()
+
+		for _, sys := range []string{"pytorch", "dtr", "dynn-offload"} {
+			row := []string{mb.Entry.Name, sys}
+			for _, f := range fig9Fractions {
+				plat := mb.Platform.WithMemory(int64(f * float64(total)))
+				ns, err := fig9Point(sys, info, plat)
+				if err != nil {
+					row = append(row, "x")
+					continue
+				}
+				row = append(row, ms(ns))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"'x' = cannot train under that budget (the red x in the paper's Fig 9)",
+		"paper: DyNN-Offload consistently beats DTR (12% avg, up to 28%); DTR degrades superlinearly")
+	return t
+}
+
+func fig9Point(system string, info *pilot.PathInfo, plat gpusim.Platform) (int64, error) {
+	switch system {
+	case "pytorch":
+		bd, err := baselines.PyTorch(info.Analysis, plat)
+		return bd.TotalNS(), err
+	case "dtr":
+		bd, err := baselines.DTR(info.Analysis, plat, baselines.DefaultDTRConfig())
+		return bd.TotalNS(), err
+	case "dynn-offload":
+		if info.Trace.TotalBytes() > plat.GPU.MemBytes+plat.CPUMemBytes {
+			return 0, errors.New("exceeds CPU+GPU")
+		}
+		blocks := info.Analysis.Partition(plat.GPU.MemBytes / 2)
+		if blocks == nil {
+			return 0, errors.New("op exceeds work buffer")
+		}
+		eng := core.NewEngine(core.DefaultConfig(plat), nil)
+		return eng.SimulatePartition(info.Analysis, blocks).TotalNS(), nil
+	}
+	return 0, fmt.Errorf("unknown system %q", system)
+}

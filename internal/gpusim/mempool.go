@@ -1,0 +1,135 @@
+package gpusim
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// MemPool is the GPU-resident tensor set with capacity accounting and LRU
+// ordering. Policies use it to decide evictions; it does not move data
+// itself (transfer timing belongs to the policy's stream schedule).
+type MemPool struct {
+	Capacity int64
+
+	used     int64
+	peak     int64
+	order    *list.List // LRU: front = oldest
+	elements map[int64]*list.Element
+	pinned   map[int64]bool
+}
+
+type poolEntry struct {
+	id    int64
+	bytes int64
+}
+
+// NewMemPool creates a pool with the given capacity in bytes.
+func NewMemPool(capacity int64) *MemPool {
+	return &MemPool{
+		Capacity: capacity,
+		order:    list.New(),
+		elements: map[int64]*list.Element{},
+		pinned:   map[int64]bool{},
+	}
+}
+
+// Used returns resident bytes.
+func (p *MemPool) Used() int64 { return p.used }
+
+// Peak returns the high-water mark of resident bytes.
+func (p *MemPool) Peak() int64 { return p.peak }
+
+// Free returns remaining capacity.
+func (p *MemPool) Free() int64 { return p.Capacity - p.used }
+
+// Resident reports whether tensor id is on the GPU.
+func (p *MemPool) Resident(id int64) bool {
+	_, ok := p.elements[id]
+	return ok
+}
+
+// ResidentBytes returns the size recorded for a resident tensor (0 if not
+// resident).
+func (p *MemPool) ResidentBytes(id int64) int64 {
+	if e, ok := p.elements[id]; ok {
+		return e.Value.(*poolEntry).bytes
+	}
+	return 0
+}
+
+// Add makes tensor id resident. It returns an error if capacity would be
+// exceeded — the caller must evict first.
+func (p *MemPool) Add(id, bytes int64) error {
+	if p.Resident(id) {
+		p.Touch(id)
+		return nil
+	}
+	if p.used+bytes > p.Capacity {
+		return fmt.Errorf("gpusim: pool full: need %d, free %d", bytes, p.Free())
+	}
+	e := p.order.PushBack(&poolEntry{id: id, bytes: bytes})
+	p.elements[id] = e
+	p.used += bytes
+	if p.used > p.peak {
+		p.peak = p.used
+	}
+	return nil
+}
+
+// Remove evicts tensor id, returning its byte size (0 if absent).
+func (p *MemPool) Remove(id int64) int64 {
+	e, ok := p.elements[id]
+	if !ok {
+		return 0
+	}
+	ent := e.Value.(*poolEntry)
+	p.order.Remove(e)
+	delete(p.elements, id)
+	delete(p.pinned, id)
+	p.used -= ent.bytes
+	return ent.bytes
+}
+
+// Touch marks tensor id most-recently-used.
+func (p *MemPool) Touch(id int64) {
+	if e, ok := p.elements[id]; ok {
+		p.order.MoveToBack(e)
+	}
+}
+
+// Pin prevents a tensor from being selected by Victims (e.g. tensors used by
+// the currently executing operator).
+func (p *MemPool) Pin(id int64)   { p.pinned[id] = true }
+func (p *MemPool) Unpin(id int64) { delete(p.pinned, id) }
+
+// UnpinAll clears all pins.
+func (p *MemPool) UnpinAll() { p.pinned = map[int64]bool{} }
+
+// Victims returns LRU-ordered unpinned tensors whose combined size is at
+// least need bytes. It returns what it found even if insufficient; the
+// caller checks coverage.
+func (p *MemPool) Victims(need int64, keep func(id int64) bool) []int64 {
+	var out []int64
+	var got int64
+	for e := p.order.Front(); e != nil && got < need; e = e.Next() {
+		ent := e.Value.(*poolEntry)
+		if p.pinned[ent.id] {
+			continue
+		}
+		if keep != nil && keep(ent.id) {
+			continue
+		}
+		out = append(out, ent.id)
+		got += ent.bytes
+	}
+	return out
+}
+
+// ResidentIDs returns all resident tensor IDs in LRU order.
+func (p *MemPool) ResidentIDs() []int64 {
+	out := make([]int64, 0, len(p.elements))
+	for e := p.order.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*poolEntry).id)
+	}
+	return out
+}

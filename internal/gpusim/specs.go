@@ -1,0 +1,115 @@
+// Package gpusim is the hardware substrate: a virtual-time simulator of a
+// GPU (compute + HBM), CPU memory, and the CPU–GPU interconnect. Offloading
+// policies are expressed against three explicit streams (compute, H2D copy,
+// D2H copy) whose busy-until times advance in virtual nanoseconds; overlap
+// between migration and computation therefore *emerges* from stream
+// scheduling rather than being assumed.
+//
+// This replaces the paper's physical testbed (RTX6000 / A100 servers over
+// PCIe 3.0 x16) — see DESIGN.md §2 for the substitution argument.
+package gpusim
+
+// DeviceSpec describes one GPU.
+type DeviceSpec struct {
+	Name         string
+	MemBytes     int64
+	FLOPS        float64 // peak fp32 FLOP/s
+	MemBW        float64 // HBM bytes/s
+	LaunchNS     int64   // kernel launch overhead
+	ComputeEff   float64 // achievable fraction of peak FLOPS
+	BandwidthEff float64 // achievable fraction of peak HBM bandwidth
+}
+
+// LinkSpec describes an interconnect.
+type LinkSpec struct {
+	BW        float64 // bytes/s
+	LatencyNS int64   // per-transfer setup latency
+}
+
+// Platform is one evaluation environment (paper §VI-A).
+type Platform struct {
+	Name        string
+	GPU         DeviceSpec
+	NumGPUs     int
+	CPUMemBytes int64
+	Link        LinkSpec // CPU<->GPU (PCIe 3.0 x16 in the paper)
+	InterGPU    LinkSpec // GPU<->GPU for data-parallel scaling
+}
+
+const (
+	kib = int64(1) << 10
+	mib = int64(1) << 20
+	gib = int64(1) << 30
+)
+
+// GiB converts gibibytes to bytes.
+func GiB(n int64) int64 { return n * gib }
+
+// MiB converts mebibytes to bytes.
+func MiB(n int64) int64 { return n * mib }
+
+// PCIe3x16 is the paper's interconnect: 16-lane PCIe 3.0, ~12.8 GB/s
+// effective.
+func PCIe3x16() LinkSpec {
+	return LinkSpec{BW: 12.8e9, LatencyNS: 10_000}
+}
+
+// RTX6000 returns the desktop-class GPU of environment (1): 23 GB memory.
+func RTX6000() DeviceSpec {
+	return DeviceSpec{
+		Name:         "RTX6000",
+		MemBytes:     GiB(23),
+		FLOPS:        16.3e12,
+		MemBW:        672e9,
+		LaunchNS:     4_000,
+		ComputeEff:   0.45,
+		BandwidthEff: 0.75,
+	}
+}
+
+// A100 returns the data-center GPU of environment (2): 80 GB memory.
+func A100() DeviceSpec {
+	return DeviceSpec{
+		Name:         "A100-80GB",
+		MemBytes:     GiB(80),
+		FLOPS:        19.5e12,
+		MemBW:        1555e9,
+		LaunchNS:     4_000,
+		ComputeEff:   0.45,
+		BandwidthEff: 0.75,
+	}
+}
+
+// RTXPlatform is evaluation environment (1): one RTX6000 per server,
+// 186 GB CPU memory, PCIe 3.0 x16.
+func RTXPlatform() Platform {
+	return Platform{
+		Name:        "rtx6000-server",
+		GPU:         RTX6000(),
+		NumGPUs:     1,
+		CPUMemBytes: GiB(186),
+		Link:        PCIe3x16(),
+		InterGPU:    PCIe3x16(),
+	}
+}
+
+// A100Platform is evaluation environment (2): four A100-80GB per server,
+// 500 GB CPU memory, PCIe 3.0 x16.
+func A100Platform() Platform {
+	return Platform{
+		Name:        "a100-server",
+		GPU:         A100(),
+		NumGPUs:     4,
+		CPUMemBytes: GiB(500),
+		Link:        PCIe3x16(),
+		InterGPU:    LinkSpec{BW: 50e9, LatencyNS: 5_000}, // NVLink-class intra-node
+	}
+}
+
+// WithMemory returns a copy of the platform whose GPU capacity is capped at
+// budget bytes — how Fig 9's GPU-memory-budget sweeps are realized.
+func (p Platform) WithMemory(budget int64) Platform {
+	q := p
+	q.GPU.MemBytes = budget
+	return q
+}

@@ -1,0 +1,45 @@
+package gpusim
+
+// Streams tracks the busy-until virtual time of the three hardware queues a
+// policy schedules against. CUDA semantics: operations on one stream are
+// ordered; operations on different streams overlap freely; dependencies are
+// expressed by starting work at the max of the relevant ready times.
+type Streams struct {
+	Compute int64
+	H2D     int64
+	D2H     int64
+}
+
+// RunCompute enqueues work of the given duration on the compute stream, not
+// starting before ready. Returns the completion time.
+func (s *Streams) RunCompute(ready, dur int64) int64 {
+	start := max64(s.Compute, ready)
+	s.Compute = start + dur
+	return s.Compute
+}
+
+// RunH2D enqueues a host-to-device transfer.
+func (s *Streams) RunH2D(ready, dur int64) int64 {
+	start := max64(s.H2D, ready)
+	s.H2D = start + dur
+	return s.H2D
+}
+
+// RunD2H enqueues a device-to-host transfer.
+func (s *Streams) RunD2H(ready, dur int64) int64 {
+	start := max64(s.D2H, ready)
+	s.D2H = start + dur
+	return s.D2H
+}
+
+// Now returns the latest completion time across all streams.
+func (s *Streams) Now() int64 {
+	return max64(s.Compute, max64(s.H2D, s.D2H))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

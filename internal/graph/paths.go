@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Path is one complete resolution of a static architecture together with its
+// bookkeeping aggregate, used to map pilot-model output back to control-flow
+// decisions (§IV-B).
+type Path struct {
+	Decisions []int
+	Resolved  *Resolved
+	Stats     Stats
+}
+
+// MaxEnumeratedPaths bounds path enumeration. The paper notes that "a large
+// DyNN does not have many control flows", so enumeration stays cheap; the
+// bound is a safety valve for misuse.
+const MaxEnumeratedPaths = 1 << 16
+
+// EnumeratePaths lists every distinct resolution of s, trying all decision
+// values for each control site actually reached. Unreached sites keep
+// decision 0.
+func EnumeratePaths(s *Static) ([]Path, error) {
+	var paths []Path
+	decisions := make([]int, s.NumSites)
+
+	// DFS over elements with explicit continuation stack so nested branches
+	// enumerate only along the traversed arm.
+	var walk func(stack [][]Elem) error
+	walk = func(stack [][]Elem) error {
+		// Find the next element: pop empty frames.
+		for len(stack) > 0 && len(stack[len(stack)-1]) == 0 {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			if len(paths) >= MaxEnumeratedPaths {
+				return fmt.Errorf("graph: more than %d paths in %s", MaxEnumeratedPaths, s.ModelName)
+			}
+			r, err := Resolve(s, decisions)
+			if err != nil {
+				return err
+			}
+			paths = append(paths, Path{
+				Decisions: append([]int(nil), decisions...),
+				Resolved:  r,
+				Stats:     r.Stats(),
+			})
+			return nil
+		}
+		top := stack[len(stack)-1]
+		head, rest := top[0], top[1:]
+		base := append(stack[:len(stack)-1:len(stack)-1], rest)
+
+		switch v := head.(type) {
+		case OpElem:
+			return walk(base)
+		case Branch:
+			for d := range v.Arms {
+				decisions[v.Site] = d
+				next := append(base[:len(base):len(base)], v.Arms[d])
+				if err := walk(next); err != nil {
+					return err
+				}
+			}
+			decisions[v.Site] = 0
+			return nil
+		case Repeat:
+			for d := 0; d <= v.Max-v.Min; d++ {
+				decisions[v.Site] = d
+				next := base
+				for i := 0; i < v.Min+d; i++ {
+					next = append(next[:len(next):len(next)], v.Body)
+				}
+				if err := walk(next); err != nil {
+					return err
+				}
+			}
+			decisions[v.Site] = 0
+			return nil
+		}
+		return fmt.Errorf("graph: unknown elem %T", head)
+	}
+	if err := walk([][]Elem{s.Elems}); err != nil {
+		return nil, err
+	}
+	return paths, nil
+}
+
+// MatchStats finds the path whose aggregate bookkeeping record is nearest to
+// the target under a per-element normalized distance (§IV-B: an exact match
+// is expected because pilot-training labels are constructed to match; when
+// the regression output is noisy, the closest path by bookkeeping record is
+// chosen). exact reports whether the best match was within tolerance on every
+// element.
+func MatchStats(paths []Path, target Stats) (best *Path, exact bool) {
+	bestDist := math.Inf(1)
+	for i := range paths {
+		p := &paths[i]
+		d := StatsDistance(p.Stats, target)
+		if d < bestDist {
+			bestDist = d
+			best = p
+		}
+	}
+	return best, bestDist < MatchTolerance
+}
+
+// MatchTolerance bounds the summed relative error for a match to count as
+// exact.
+const MatchTolerance = 0.02
+
+// StatsDistance is the summed relative error over operator count and the
+// nine signature aggregates.
+func StatsDistance(a, b Stats) float64 {
+	d := relErr(float64(a.OpCount), float64(b.OpCount))
+	for i := range a.Sig {
+		d += relErr(a.Sig[i], b.Sig[i])
+	}
+	return d
+}
+
+func relErr(a, b float64) float64 {
+	return math.Abs(a-b) / (1 + math.Max(math.Abs(a), math.Abs(b)))
+}

@@ -1,0 +1,110 @@
+package idiom
+
+// Analyze classifies every statement of a kernel into idiom occurrences and
+// returns the six occurrence counts. Classification rules (one statement can
+// exhibit several idioms, each counted at most once per statement):
+//
+//   - scatter:   the LHS is an indirect access (B[C[i]] = ...).
+//   - gather:    any RHS access is indirect (... = B[C[i]]).
+//   - reduction: the statement accumulates (lhs += rhs) and the LHS rank is
+//     strictly lower than the loop depth, i.e. at least one loop
+//     variable is contracted away.
+//   - transpose: some RHS access uses the LHS's subscript variables in a
+//     different (permuted) order.
+//   - stencil:   any access subscripts with a nonzero constant offset
+//     (neighbour access such as A[i-1][j]).
+//   - stream:    the LHS is direct and some RHS access is direct, offset-free
+//     and uses exactly the LHS's subscript variables in the same
+//     order (aligned element-wise traffic).
+func Analyze(k Kernel) [NumIdioms]int {
+	var counts [NumIdioms]int
+	for _, s := range k.Stmts {
+		for _, id := range classify(k, s) {
+			counts[id]++
+		}
+	}
+	return counts
+}
+
+func classify(k Kernel, s Stmt) []Idiom {
+	var out []Idiom
+	seen := map[Idiom]bool{}
+	add := func(id Idiom) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+
+	if s.LHS.IndirectVia != "" {
+		add(Scatter)
+	}
+	for _, r := range s.RHS {
+		if r.IndirectVia != "" {
+			add(Gather)
+		}
+	}
+	if s.Accum && len(s.LHS.Vars()) < len(k.LoopVars) {
+		add(Reduction)
+	}
+
+	lhsVars := s.LHS.Vars()
+	for _, r := range s.RHS {
+		if r.IndirectVia != "" {
+			continue
+		}
+		rv := r.Vars()
+		if isPermutation(lhsVars, rv) && !equalStrings(lhsVars, rv) {
+			add(Transpose)
+		}
+	}
+
+	if s.LHS.hasOffset() {
+		add(Stencil)
+	}
+	for _, r := range s.RHS {
+		if r.hasOffset() {
+			add(Stencil)
+			break
+		}
+	}
+
+	if s.LHS.IndirectVia == "" {
+		for _, r := range s.RHS {
+			if r.IndirectVia == "" && !r.hasOffset() && equalStrings(lhsVars, r.Vars()) && len(lhsVars) > 0 {
+				add(Stream)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func isPermutation(a, b []string) bool {
+	if len(a) != len(b) || len(a) == 0 {
+		return false
+	}
+	cnt := map[string]int{}
+	for _, v := range a {
+		cnt[v]++
+	}
+	for _, v := range b {
+		cnt[v]--
+		if cnt[v] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package idiom
+
+// This file defines the loop-nest kernel IR the idiom analyzer consumes. A
+// kernel is a perfect loop nest over index variables with a body of
+// assignment statements over indexed tensor accesses. The IR is rich enough
+// to express the access patterns of the ~50 operators in the registry while
+// staying trivially analyzable.
+
+// Index is one subscript of a tensor access: a loop variable plus a constant
+// offset (i, i+1, j-1, ...). An empty Var with zero Offset denotes a literal
+// constant subscript.
+type Index struct {
+	Var    string
+	Offset int
+}
+
+// Access is one tensor access. If IndirectVia is non-empty the access is
+// subscripted through another tensor (B[C[i]] has Tensor "B", IndirectVia
+// "C"), which is the defining feature of gather (read) and scatter (write).
+type Access struct {
+	Tensor      string
+	Idx         []Index
+	IndirectVia string
+}
+
+// Vars returns the subscript loop variables in order (empty strings skipped).
+func (a Access) Vars() []string {
+	var vs []string
+	for _, ix := range a.Idx {
+		if ix.Var != "" {
+			vs = append(vs, ix.Var)
+		}
+	}
+	return vs
+}
+
+// hasOffset reports whether any subscript carries a nonzero constant offset.
+func (a Access) hasOffset() bool {
+	for _, ix := range a.Idx {
+		if ix.Offset != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Stmt is one assignment in the loop body. Accum marks a compound assignment
+// (lhs += rhs), the signature of a reduction when the LHS rank is lower than
+// the loop depth.
+type Stmt struct {
+	LHS   Access
+	Accum bool
+	RHS   []Access
+}
+
+// Kernel is a named loop nest.
+type Kernel struct {
+	Name     string
+	LoopVars []string
+	Stmts    []Stmt
+}
+
+// A is a convenience constructor for a direct access A("X", "i", "j").
+func A(tensor string, vars ...string) Access {
+	acc := Access{Tensor: tensor}
+	for _, v := range vars {
+		acc.Idx = append(acc.Idx, Index{Var: v})
+	}
+	return acc
+}
+
+// AOff builds an access with explicit indices (offsets allowed).
+func AOff(tensor string, idx ...Index) Access {
+	return Access{Tensor: tensor, Idx: idx}
+}
+
+// AVia builds an indirect access: tensor subscripted through via.
+func AVia(tensor, via string, vars ...string) Access {
+	acc := A(tensor, vars...)
+	acc.IndirectVia = via
+	return acc
+}

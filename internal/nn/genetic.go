@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"sort"
+
+	"dynnoffload/internal/mathx"
+)
+
+// Genome is a hyper-parameter assignment explored by the genetic tuner.
+// The paper fine-tunes the pilot model's hyper-parameters with a genetic
+// algorithm (§V); we tune hidden width, learning rate, and epoch count.
+type Genome struct {
+	Hidden int
+	LR     float64
+	Epochs int
+}
+
+// Fitness evaluates a genome; higher is better.
+type Fitness func(Genome) float64
+
+// TunerConfig controls the genetic search.
+type TunerConfig struct {
+	Population  int
+	Generations int
+	MutateProb  float64
+	Seed        uint64
+
+	HiddenChoices []int
+	LRChoices     []float64
+	EpochChoices  []int
+}
+
+// DefaultTunerConfig returns a small search space suitable for the pilot.
+func DefaultTunerConfig() TunerConfig {
+	return TunerConfig{
+		Population:    8,
+		Generations:   5,
+		MutateProb:    0.25,
+		Seed:          7,
+		HiddenChoices: []int{128, 256, 512, 1024},
+		LRChoices:     []float64{0.003, 0.01, 0.03},
+		EpochChoices:  []int{3, 6, 10},
+	}
+}
+
+type scored struct {
+	g Genome
+	f float64
+}
+
+// Tune runs the genetic search and returns the best genome found with its
+// fitness. Fitness evaluations are memoized per distinct genome.
+func Tune(cfg TunerConfig, fit Fitness) (Genome, float64) {
+	rng := mathx.NewRNG(cfg.Seed)
+	random := func() Genome {
+		return Genome{
+			Hidden: cfg.HiddenChoices[rng.Intn(len(cfg.HiddenChoices))],
+			LR:     cfg.LRChoices[rng.Intn(len(cfg.LRChoices))],
+			Epochs: cfg.EpochChoices[rng.Intn(len(cfg.EpochChoices))],
+		}
+	}
+	memo := map[Genome]float64{}
+	eval := func(g Genome) float64 {
+		if f, ok := memo[g]; ok {
+			return f
+		}
+		f := fit(g)
+		memo[g] = f
+		return f
+	}
+
+	pop := make([]scored, cfg.Population)
+	for i := range pop {
+		g := random()
+		pop[i] = scored{g, eval(g)}
+	}
+	for gen := 0; gen < cfg.Generations; gen++ {
+		sort.Slice(pop, func(i, j int) bool { return pop[i].f > pop[j].f })
+		elite := pop[:max(2, cfg.Population/4)]
+		next := append([]scored(nil), elite...)
+		for len(next) < cfg.Population {
+			a := elite[rng.Intn(len(elite))].g
+			b := elite[rng.Intn(len(elite))].g
+			child := crossover(a, b, rng)
+			if rng.Float64() < cfg.MutateProb {
+				child = mutate(child, cfg, rng)
+			}
+			next = append(next, scored{child, eval(child)})
+		}
+		pop = next
+	}
+	sort.Slice(pop, func(i, j int) bool { return pop[i].f > pop[j].f })
+	return pop[0].g, pop[0].f
+}
+
+func crossover(a, b Genome, rng *mathx.RNG) Genome {
+	c := a
+	if rng.Intn(2) == 0 {
+		c.LR = b.LR
+	}
+	if rng.Intn(2) == 0 {
+		c.Epochs = b.Epochs
+	}
+	if rng.Intn(2) == 0 {
+		c.Hidden = b.Hidden
+	}
+	return c
+}
+
+func mutate(g Genome, cfg TunerConfig, rng *mathx.RNG) Genome {
+	switch rng.Intn(3) {
+	case 0:
+		g.Hidden = cfg.HiddenChoices[rng.Intn(len(cfg.HiddenChoices))]
+	case 1:
+		g.LR = cfg.LRChoices[rng.Intn(len(cfg.LRChoices))]
+	default:
+		g.Epochs = cfg.EpochChoices[rng.Intn(len(cfg.EpochChoices))]
+	}
+	return g
+}

@@ -1,0 +1,84 @@
+// Package pilot implements the paper's central contribution: the pilot
+// model (§IV) — a light neural network that resolves a DyNN's dynamism per
+// input sample and predicts the execution-block partition that guides tensor
+// prefetch. It contains the feature encoders (embedded sample ⊕ AFM ⊕
+// base-type one-hot), the three-parallel-MLP network (§IV-C), the offline
+// training system (§IV-D, §V), inference, and the output→path mapping
+// (§IV-B).
+package pilot
+
+import (
+	"dynnoffload/internal/dynn"
+	"dynnoffload/internal/graph"
+	"dynnoffload/internal/idiom"
+)
+
+// Repr selects the architecture representation fed to the pilot model:
+// the paper's idiom-based AFM, or the global-operator-ID baseline it is
+// compared against in Fig 11.
+type Repr int
+
+const (
+	IdiomRepr Repr = iota
+	GlobalIDRepr
+)
+
+func (r Repr) String() string {
+	if r == GlobalIDRepr {
+		return "global-id"
+	}
+	return "idiom"
+}
+
+// FeatureConfig controls feature encoding.
+type FeatureConfig struct {
+	Segments int  // AFM pooling segments
+	Repr     Repr // architecture representation
+}
+
+// DefaultSegments is the AFM pooling granularity.
+const DefaultSegments = 8
+
+func (fc *FeatureConfig) defaults() {
+	if fc.Segments == 0 {
+		fc.Segments = DefaultSegments
+	}
+}
+
+// archWidth returns the architecture-feature width for this config.
+func (fc FeatureConfig) archWidth() int {
+	fc.defaults()
+	if fc.Repr == GlobalIDRepr {
+		return fc.Segments * idiom.Default.NumOperators()
+	}
+	return fc.Segments * idiom.SigLen
+}
+
+// Width returns the total pilot input width: sample embedding +
+// architecture features + base-type one-hot.
+func (fc FeatureConfig) Width() int {
+	return dynn.EmbedDim + fc.archWidth() + dynn.NumBaseTypes
+}
+
+// ArchFeatures encodes a static architecture under the configured
+// representation. The result is constant per model and cached by callers.
+func (fc FeatureConfig) ArchFeatures(s *graph.Static) []float64 {
+	fc.defaults()
+	if fc.Repr == GlobalIDRepr {
+		g := graph.BuildGlobalIDAFM(s)
+		return g.PooledFeatures(fc.Segments, idiom.Default.NumOperators())
+	}
+	afm := graph.BuildAFM(s)
+	return afm.PooledFeatures(fc.Segments)
+}
+
+// Encode assembles the full feature vector for one sample of one model.
+func (fc FeatureConfig) Encode(embed, archFeats []float64, base dynn.BaseType) []float64 {
+	fc.defaults()
+	out := make([]float64, 0, fc.Width())
+	out = append(out, embed...)
+	out = append(out, archFeats...)
+	oneHot := make([]float64, dynn.NumBaseTypes)
+	oneHot[int(base)] = 1
+	return append(out, oneHot...)
+}

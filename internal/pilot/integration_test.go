@@ -1,0 +1,49 @@
+package pilot
+
+import (
+	"testing"
+
+	"dynnoffload/internal/dynn"
+	"dynnoffload/internal/gpusim"
+)
+
+// TestEndToEndPilotOnTreeLSTM trains a pilot on Tree-LSTM and checks it
+// learns the dynamism far better than chance.
+func TestEndToEndPilotOnTreeLSTM(t *testing.T) {
+	m := dynn.NewTreeLSTM(dynn.TreeLSTMConfig{Levels: 6, Hidden: 64, SeqLen: 16, Batch: 4, Seed: 3})
+	cm := gpusim.NewCostModel(gpusim.RTXPlatform())
+	ctx, err := NewModelContext(m, cm, 0, 0)
+	if err != nil {
+		t.Fatalf("NewModelContext: %v", err)
+	}
+	if len(ctx.Paths) != 64 {
+		t.Fatalf("got %d paths, want 64", len(ctx.Paths))
+	}
+
+	samples := dynn.GenerateSamples(17, 2300, 8, 48)
+	exs, err := BuildExamples(ctx, FeatureConfig{}, samples)
+	if err != nil {
+		t.Fatalf("BuildExamples: %v", err)
+	}
+	train, test := exs[:2000], exs[2000:]
+
+	p := New(Config{Neurons: 128, Epochs: 15, Seed: 5})
+	res := p.Train(train)
+	t.Logf("train: loss=%.4f wall=%v params=%d", res.FinalLoss, res.WallClock, p.Params())
+
+	acc, mispred, lat := p.Evaluate(test)
+	t.Logf("test: acc=%.3f mispred=%d/%d latency=%v", acc, mispred, len(test), lat)
+	if acc < 0.6 {
+		t.Errorf("pilot accuracy %.3f too low; learning failed", acc)
+	}
+
+	// Distinct truth paths must be multiple — otherwise the task is trivial.
+	keys := map[string]bool{}
+	for _, e := range exs {
+		keys[e.TruthKey] = true
+	}
+	if len(keys) < 4 {
+		t.Errorf("only %d distinct paths used by samples; dynamism too weak", len(keys))
+	}
+	t.Logf("distinct truth paths among samples: %d", len(keys))
+}

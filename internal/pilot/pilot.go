@@ -1,0 +1,309 @@
+package pilot
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dynnoffload/internal/dynn"
+	"dynnoffload/internal/mathx"
+	"dynnoffload/internal/nn"
+	"dynnoffload/internal/sentinel"
+)
+
+// Config controls pilot-model construction and training (§IV-C: three
+// parallel MLPs of four layers each — input, two hidden, output — selected by
+// the DyNN's base type; LeakyReLU activations, SGD, learning rate 0.01).
+type Config struct {
+	Neurons   int     // hidden width per MLP layer (Table IV sweeps this)
+	LR        float64 // SGD learning rate
+	LRDecay   float64 // multiplicative per-epoch decay (default 0.95)
+	Momentum  float64 // SGD momentum (default 0.9)
+	Epochs    int
+	Seed      uint64
+	MaxBlocks int
+	Features  FeatureConfig
+}
+
+// DefaultConfig returns the paper's pilot configuration (512 neurons per MLP
+// layer, §VI-E).
+func DefaultConfig() Config {
+	return Config{Neurons: 512, Epochs: 15, Seed: 11, MaxBlocks: DefaultMaxBlocks}
+}
+
+func (c *Config) defaults() {
+	if c.Neurons == 0 {
+		c.Neurons = 512
+	}
+	if c.LR == 0 {
+		// Scale the step size down with width so every Table IV
+		// configuration trains stably under SGD+momentum.
+		c.LR = 0.001 * math.Sqrt(128/float64(c.Neurons))
+	}
+	if c.LRDecay == 0 {
+		c.LRDecay = 0.95
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 15
+	}
+	if c.MaxBlocks == 0 {
+		c.MaxBlocks = DefaultMaxBlocks
+	}
+	c.Features.defaults()
+}
+
+// Pilot is the pilot model: a feature scaler, three parallel MLPs (one per
+// base NN type, only one activated per inference — the design that keeps
+// inference fast, §IV-C), and a label scaler.
+type Pilot struct {
+	Cfg  Config
+	mlps [dynn.NumBaseTypes]*nn.MLP
+
+	featMean, featStd   []float64
+	labelMean, labelStd []float64
+
+	// normLabels caches each model context's path labels projected into the
+	// pilot's normalized label space, where output→path matching happens:
+	// standardization amplifies exactly the dimensions that discriminate
+	// paths, making the match robust to regression noise on the large
+	// non-discriminative descriptor elements.
+	normLabels map[*ModelContext][][]float64
+}
+
+// New constructs an untrained pilot model.
+func New(cfg Config) *Pilot {
+	cfg.defaults()
+	p := &Pilot{Cfg: cfg}
+	rng := mathx.NewRNG(cfg.Seed)
+	in := cfg.Features.Width()
+	out := cfg.MaxBlocks * sentinel.DescriptorLen
+	for i := range p.mlps {
+		p.mlps[i] = nn.NewMLP([]int{in, cfg.Neurons, cfg.Neurons, out}, nn.LeakyReLU, rng.Fork(uint64(i)))
+	}
+	return p
+}
+
+// Params returns the total trainable parameter count across the three MLPs.
+func (p *Pilot) Params() int {
+	n := 0
+	for _, m := range p.mlps {
+		n += m.Params()
+	}
+	return n
+}
+
+// fitScalers computes per-dimension standardization from the training set.
+func (p *Pilot) fitScalers(examples []*Example) {
+	if len(examples) == 0 {
+		return
+	}
+	fw, lw := len(examples[0].Features), len(examples[0].Label)
+	p.featMean, p.featStd = fitScaler(examples, fw, func(e *Example) []float64 { return e.Features })
+	p.labelMean, p.labelStd = fitScaler(examples, lw, func(e *Example) []float64 { return e.Label })
+}
+
+func fitScaler(examples []*Example, width int, get func(*Example) []float64) (mean, std []float64) {
+	mean = make([]float64, width)
+	std = make([]float64, width)
+	n := float64(len(examples))
+	for _, e := range examples {
+		for i, v := range get(e) {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= n
+	}
+	for _, e := range examples {
+		for i, v := range get(e) {
+			d := v - mean[i]
+			std[i] += d * d
+		}
+	}
+	for i := range std {
+		std[i] = std[i] / n
+		if std[i] < 1e-12 {
+			std[i] = 1
+		} else {
+			std[i] = math.Sqrt(std[i])
+		}
+	}
+	return mean, std
+}
+
+func normalize(x, mean, std []float64, out []float64) {
+	for i := range x {
+		out[i] = (x[i] - mean[i]) / std[i]
+	}
+}
+
+func denormalize(x, mean, std []float64, out []float64) {
+	for i := range x {
+		out[i] = x[i]*std[i] + mean[i]
+	}
+}
+
+// TrainResult summarizes a training run.
+type TrainResult struct {
+	Epochs      int
+	FinalLoss   float64
+	TrainedOn   int
+	WallClock   time.Duration
+	PerBaseType [dynn.NumBaseTypes]int
+}
+
+// Train fits the pilot on examples with per-sample SGD (the pilot trains
+// offline, §IV-D). Examples route to the MLP of their base type.
+func (p *Pilot) Train(examples []*Example) TrainResult {
+	start := time.Now()
+	p.fitScalers(examples)
+	p.normLabels = map[*ModelContext][][]float64{}
+	rng := mathx.NewRNG(p.Cfg.Seed ^ 0x7e41)
+
+	var res TrainResult
+	res.TrainedOn = len(examples)
+	for _, e := range examples {
+		res.PerBaseType[int(e.Base)]++
+	}
+
+	fbuf := make([]float64, len(p.featMean))
+	lbuf := make([]float64, len(p.labelMean))
+	var lastLoss float64
+	lr := p.Cfg.LR
+	for epoch := 0; epoch < p.Cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(examples))
+		var lossSum float64
+		for _, idx := range perm {
+			e := examples[idx]
+			normalize(e.Features, p.featMean, p.featStd, fbuf)
+			normalize(e.Label, p.labelMean, p.labelStd, lbuf)
+			lossSum += p.mlps[int(e.Base)].TrainStep(fbuf, lbuf, lr, p.Cfg.Momentum)
+		}
+		lastLoss = lossSum / float64(len(examples))
+		lr *= p.Cfg.LRDecay
+	}
+	res.Epochs = p.Cfg.Epochs
+	res.FinalLoss = lastLoss
+	res.WallClock = time.Since(start)
+	return res
+}
+
+// Predict runs one inference: it returns the denormalized label vector (the
+// execution-block descriptor rows) and the measured inference latency — the
+// paper's ~30 µs overhead per training sample (§VI-C).
+func (p *Pilot) Predict(base dynn.BaseType, features []float64) ([]float64, time.Duration) {
+	if p.featMean == nil {
+		panic("pilot: Predict before Train")
+	}
+	start := time.Now()
+	fbuf := make([]float64, len(features))
+	normalize(features, p.featMean, p.featStd, fbuf)
+	raw := p.mlps[int(base)].Forward(fbuf)
+	out := make([]float64, len(raw))
+	denormalize(raw, p.labelMean, p.labelStd, out)
+	return out, time.Since(start)
+}
+
+// Resolution is the result of one pilot inference plus output→path mapping.
+type Resolution struct {
+	Path    *PathInfo
+	Exact   bool      // bookkeeping record matched within tolerance
+	Output  []float64 // denormalized pilot output (block descriptor rows)
+	InferNS int64
+	MapNS   int64
+}
+
+// exactMatchRMS is the per-dimension RMS threshold (in normalized label
+// units) below which a match counts as exact.
+const exactMatchRMS = 0.35
+
+// pathLabelsNorm returns (building on first use) the context's path labels in
+// the pilot's normalized label space.
+func (p *Pilot) pathLabelsNorm(ctx *ModelContext) [][]float64 {
+	if cached, ok := p.normLabels[ctx]; ok {
+		return cached
+	}
+	out := make([][]float64, len(ctx.Paths))
+	for i, info := range ctx.Paths {
+		nl := make([]float64, len(info.Label))
+		normalize(info.Label, p.labelMean, p.labelStd, nl)
+		out[i] = nl
+	}
+	p.normLabels[ctx] = out
+	return out
+}
+
+// Resolve predicts and maps the output onto a resolution path of the
+// example's model (§IV-B traverse-and-match over the per-block bookkeeping
+// records).
+func (p *Pilot) Resolve(e *Example) Resolution {
+	if p.featMean == nil {
+		panic("pilot: Resolve before Train")
+	}
+	start := time.Now()
+	fbuf := make([]float64, len(e.Features))
+	normalize(e.Features, p.featMean, p.featStd, fbuf)
+	predNorm := p.mlps[int(e.Base)].Forward(fbuf)
+	inferNS := time.Since(start).Nanoseconds()
+
+	mapStart := time.Now()
+	candidates := p.pathLabelsNorm(e.Ctx)
+	bestIdx, bestDist := -1, 0.0
+	for i, cand := range candidates {
+		var d float64
+		for j := range cand {
+			diff := predNorm[j] - cand[j]
+			d += diff * diff
+		}
+		if bestIdx < 0 || d < bestDist {
+			bestIdx, bestDist = i, d
+		}
+	}
+	mapNS := time.Since(mapStart).Nanoseconds()
+
+	out := make([]float64, len(predNorm))
+	denormalize(predNorm, p.labelMean, p.labelStd, out)
+	res := Resolution{Output: out, InferNS: inferNS, MapNS: mapNS}
+	if bestIdx >= 0 {
+		res.Path = e.Ctx.Paths[bestIdx]
+		rms := bestDist / float64(len(out))
+		res.Exact = rms < exactMatchRMS*exactMatchRMS
+	}
+	return res
+}
+
+// Evaluate measures prediction accuracy over examples: a prediction is
+// correct when the mapped path equals the ground-truth path. It returns the
+// accuracy, the mis-prediction count, and the mean inference latency.
+func (p *Pilot) Evaluate(examples []*Example) (accuracy float64, mispredictions int, meanLatency time.Duration) {
+	if len(examples) == 0 {
+		return 0, 0, 0
+	}
+	var correct int
+	var totalLatNS int64
+	for _, e := range examples {
+		res := p.Resolve(e)
+		totalLatNS += res.InferNS
+		if res.Path != nil && res.Path.Key == e.TruthKey {
+			correct++
+		} else {
+			mispredictions++
+		}
+	}
+	return float64(correct) / float64(len(examples)), mispredictions,
+		time.Duration(totalLatNS / int64(len(examples)))
+}
+
+// MappingOverhead measures the output→path mapping cost (§VI-C: 10–15 µs)
+// for one example.
+func (p *Pilot) MappingOverhead(e *Example) time.Duration {
+	return time.Duration(p.Resolve(e).MapNS)
+}
+
+// String describes the pilot briefly.
+func (p *Pilot) String() string {
+	return fmt.Sprintf("pilot(neurons=%d repr=%s params=%d)", p.Cfg.Neurons, p.Cfg.Features.Repr, p.Params())
+}

@@ -1,0 +1,209 @@
+package pilot
+
+import (
+	"bytes"
+	"testing"
+
+	"dynnoffload/internal/dynn"
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/graph"
+	"dynnoffload/internal/sentinel"
+)
+
+func TestFeatureWidths(t *testing.T) {
+	fc := FeatureConfig{}
+	if fc.Width() != dynn.EmbedDim+DefaultSegments*9+dynn.NumBaseTypes {
+		t.Errorf("idiom width = %d", fc.Width())
+	}
+	gid := FeatureConfig{Repr: GlobalIDRepr}
+	if gid.Width() <= fc.Width() {
+		t.Error("global-ID representation must be wider (the Fig 11 point)")
+	}
+}
+
+func TestEncode(t *testing.T) {
+	m := dynn.NewVarLSTM(dynn.VarLSTMConfig{Hidden: 16, Batch: 1, Seed: 1})
+	fc := FeatureConfig{}
+	arch := fc.ArchFeatures(m.Static())
+	s := dynn.GenerateSamples(1, 1, 8, 16)[0]
+	feats := fc.Encode(s.Embed, arch, m.Base())
+	if len(feats) != fc.Width() {
+		t.Fatalf("feature width %d != %d", len(feats), fc.Width())
+	}
+	// One-hot base type at the tail.
+	tail := feats[len(feats)-dynn.NumBaseTypes:]
+	var ones int
+	for _, v := range tail {
+		if v == 1 {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Errorf("base-type one-hot has %d ones", ones)
+	}
+}
+
+func TestPathKey(t *testing.T) {
+	r := &graph.Resolved{
+		Decisions: []int{1, 0, 2},
+		Reached:   []bool{true, false, true},
+	}
+	if got := PathKey(r); got != "1,-,2," {
+		t.Errorf("PathKey = %q", got)
+	}
+}
+
+func TestModelContextLabels(t *testing.T) {
+	m := dynn.NewVarLSTM(dynn.VarLSTMConfig{Hidden: 32, Batch: 2, Seed: 2})
+	cm := gpusim.NewCostModel(gpusim.RTXPlatform())
+	ctx, err := NewModelContext(m, cm, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.Paths) != 8 {
+		t.Fatalf("paths = %d, want 8", len(ctx.Paths))
+	}
+	seen := map[string]bool{}
+	for _, info := range ctx.Paths {
+		if len(info.Label) != DefaultMaxBlocks*sentinel.DescriptorLen {
+			t.Fatalf("label width %d", len(info.Label))
+		}
+		if len(info.Blocks) == 0 {
+			t.Fatal("no blocks")
+		}
+		if err := sentinel.Validate(info.Blocks, info.Analysis.NumOps()); err != nil {
+			t.Fatal(err)
+		}
+		k := ""
+		for _, v := range info.Label {
+			k += string(rune(int(v)%93 + 33))
+		}
+		if seen[k] {
+			t.Error("duplicate label across paths")
+		}
+		seen[k] = true
+		if ctx.PathByKey(info.Key) != info {
+			t.Error("PathByKey lookup broken")
+		}
+	}
+}
+
+func TestClampBlocks(t *testing.T) {
+	blocks := []sentinel.Block{{Start: 0, End: 2}, {Start: 2, End: 4}, {Start: 4, End: 6}, {Start: 6, End: 9}}
+	clamped := clampBlocks(blocks, 2)
+	if len(clamped) != 2 {
+		t.Fatalf("len = %d", len(clamped))
+	}
+	if clamped[1].End != 9 || clamped[0] != blocks[0] {
+		t.Errorf("clamp lost coverage: %v", clamped)
+	}
+	same := clampBlocks(blocks, 10)
+	if len(same) != 4 {
+		t.Error("no-op clamp changed blocks")
+	}
+}
+
+func TestAggregateFromLabel(t *testing.T) {
+	label := make([]float64, 2*sentinel.DescriptorLen)
+	label[0] = 3  // block 1: 3 ops
+	label[1] = 2  // 2 transposes
+	label[10] = 4 // block 2: 4 ops
+	label[11] = 1
+	st := AggregateFromLabel(label)
+	if st.OpCount != 7 {
+		t.Errorf("op count = %d", st.OpCount)
+	}
+	if st.Sig[0] != 3 {
+		t.Errorf("transpose sum = %v", st.Sig[0])
+	}
+}
+
+func TestTruthPath(t *testing.T) {
+	m := dynn.NewVarLSTM(dynn.VarLSTMConfig{Hidden: 32, Batch: 2, Seed: 2})
+	cm := gpusim.NewCostModel(gpusim.RTXPlatform())
+	ctx, err := NewModelContext(m, cm, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range dynn.GenerateSamples(3, 20, 8, 32) {
+		info, err := ctx.TruthPath(s)
+		if err != nil || info == nil {
+			t.Fatalf("TruthPath: %v", err)
+		}
+	}
+}
+
+func TestPredictBeforeTrainPanics(t *testing.T) {
+	p := New(Config{Neurons: 8})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.Predict(dynn.CNN, make([]float64, p.Cfg.Features.Width()))
+}
+
+func TestGenerализationLeaveOut(t *testing.T) {
+	// Training on one model and evaluating on another with the SAME base
+	// type exercises the three-MLP routing; accuracy will be poor (labels of
+	// an unseen architecture) but the pipeline must not fail.
+	mA := dynn.NewTreeLSTM(dynn.TreeLSTMConfig{Levels: 4, Hidden: 32, SeqLen: 8, Batch: 2, Seed: 1})
+	mB := dynn.NewVarLSTM(dynn.VarLSTMConfig{Hidden: 32, Batch: 2, Seed: 1})
+	cm := gpusim.NewCostModel(gpusim.RTXPlatform())
+	ctxA, _ := NewModelContext(mA, cm, 0, 0)
+	ctxB, _ := NewModelContext(mB, cm, 0, 0)
+	samples := dynn.GenerateSamples(4, 300, 8, 32)
+	exA, _ := BuildExamples(ctxA, FeatureConfig{}, samples[:200])
+	exB, _ := BuildExamples(ctxB, FeatureConfig{}, samples[200:])
+	p := New(Config{Neurons: 32, Epochs: 4, Seed: 1})
+	p.Train(exA)
+	acc, mis, _ := p.Evaluate(exB)
+	if acc < 0 || acc > 1 || mis > len(exB) {
+		t.Errorf("evaluation out of range: acc=%v mis=%d", acc, mis)
+	}
+}
+
+func TestPilotSaveLoadRoundTrip(t *testing.T) {
+	m := dynn.NewVarLSTM(dynn.VarLSTMConfig{Hidden: 32, Batch: 2, Seed: 2})
+	cm := gpusim.NewCostModel(gpusim.RTXPlatform())
+	ctx, err := NewModelContext(m, cm, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := dynn.GenerateSamples(8, 300, 8, 32)
+	exs, _ := BuildExamples(ctx, FeatureConfig{}, samples)
+	p := New(Config{Neurons: 32, Epochs: 5, Seed: 9})
+	p.Train(exs[:250])
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical predictions after the round trip.
+	for _, e := range exs[250:260] {
+		a, _ := p.Predict(e.Base, e.Features)
+		b, _ := q.Predict(e.Base, e.Features)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("prediction diverged after load at dim %d", i)
+			}
+		}
+		ra := p.Resolve(e)
+		rb := q.Resolve(e)
+		if ra.Path.Key != rb.Path.Key {
+			t.Fatal("resolution diverged after load")
+		}
+	}
+	// Untrained pilots refuse to save.
+	if err := New(Config{Neurons: 8}).Save(&buf); err == nil {
+		t.Error("untrained Save must fail")
+	}
+	// Corrupt input fails cleanly.
+	if _, err := Load(bytes.NewBufferString("{")); err == nil {
+		t.Error("corrupt Load must fail")
+	}
+}
