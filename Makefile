@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: build test check race race-full fmt vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Race-check the concurrent runtime (sharded cache, parallel epochs, pilot).
+race:
+	$(GO) test -race ./internal/core/... ./internal/obsv/... ./internal/pilot/...
+
+# Race-check everything (slow).
+race-full:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# The tier-1 gate: build, vet, formatting, full tests, and the race pass
+# over the concurrent packages.
+check: build vet fmt test race
+	@echo "check: OK"

@@ -13,20 +13,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"dynnoffload/internal/expt"
+	"dynnoffload/internal/obsv"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1,table2,heuristic,largest,table3,fig7,fig8,fig9,fig10,table4,fig11,fig12,mispred,mispred-handling,overhead,all")
+		exp     = flag.String("exp", "all", "experiment: table1,table2,heuristic,largest,table3,fig7,fig8,fig9,fig10,table4,fig11,fig12,mispred,mispred-handling,overhead,parallel,all")
 		train   = flag.Int("train", 0, "pilot-training samples per model (default CI scale)")
 		test    = flag.Int("test", 0, "evaluation samples per model")
 		neurons = flag.Int("neurons", 0, "pilot hidden width")
 		epochs  = flag.Int("epochs", 0, "pilot training epochs")
 		batch   = flag.Int("batch", 0, "DyNN batch size")
 		seed    = flag.Uint64("seed", 42, "experiment seed")
+		workers = flag.Int("workers", 0, "epoch worker pool size for DyNN-Offload epochs (0 = serial, -1 = GOMAXPROCS)")
+		stats   = flag.String("stats", "", "write per-sample JSONL observability events to this file")
 	)
 	flag.Parse()
 
@@ -47,20 +51,36 @@ func main() {
 		opts.Batch = *batch
 	}
 	opts.Seed = *seed
+	opts.Workers = *workers
+	if opts.Workers < 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 
-	if err := run(*exp, opts); err != nil {
+	var sink obsv.Sink
+	if *stats != "" {
+		f, err := os.Create(*stats)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynnbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = obsv.NewJSONLSink(f)
+	}
+
+	if err := run(*exp, opts, sink); err != nil {
 		fmt.Fprintln(os.Stderr, "dynnbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, opts expt.Options) error {
+func run(exp string, opts expt.Options, sink obsv.Sink) error {
 	out := os.Stdout
 
 	// Experiments that need the shared workbench (trained pilot).
 	needsWB := map[string]bool{
 		"fig7": true, "fig8": true, "fig9": true, "fig10": true,
 		"mispred": true, "mispred-handling": true, "overhead": true, "fig12": true,
+		"parallel": true,
 	}
 	var wb *expt.Workbench
 	getWB := func() (*expt.Workbench, error) {
@@ -121,6 +141,12 @@ func run(exp string, opts expt.Options) error {
 				t = []*expt.Table{expt.MispredHandling(w)}
 			case "overhead":
 				t = []*expt.Table{expt.Overhead(w)}
+			case "parallel":
+				n := opts.Workers
+				if n <= 1 {
+					n = runtime.GOMAXPROCS(0)
+				}
+				t = []*expt.Table{expt.ParallelSpeedup(w, n, sink)}
 			}
 		}
 		for _, tab := range t {

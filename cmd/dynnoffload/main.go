@@ -35,7 +35,7 @@ func main() {
 	plat := dynnoffload.A100Platform()
 
 	// Probe the footprint to apply fractional budgets.
-	probe, err := dynnoffload.NewSystem(dynnoffload.SystemConfig{Model: m, Platform: plat})
+	probe, err := dynnoffload.NewSystem(m, dynnoffload.WithPlatform(plat))
 	if err != nil {
 		fatal(err)
 	}
@@ -53,10 +53,10 @@ func main() {
 	fmt.Printf("model=%s params=%.2fM footprint=%dMiB gpu=%dMiB policy=%s\n",
 		m.Name(), float64(dynnoffload.ParamCount(m))/1e6, tr.TotalBytes()>>20, plat.GPU.MemBytes>>20, *policy)
 
-	sys, err := dynnoffload.NewSystem(dynnoffload.SystemConfig{
-		Model: m, Platform: plat,
-		PilotConfig: dynnoffload.PilotConfig{Neurons: *neurons, Seed: *seed},
-	})
+	sys, err := dynnoffload.NewSystem(m,
+		dynnoffload.WithPlatform(plat),
+		dynnoffload.WithPilotConfig(dynnoffload.PilotConfig{Neurons: *neurons, Seed: *seed}),
+	)
 	if err != nil {
 		fatal(err)
 	}

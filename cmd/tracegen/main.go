@@ -27,10 +27,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sys, err := dynnoffload.NewSystem(dynnoffload.SystemConfig{
-		Model:    m,
-		Platform: dynnoffload.A100Platform(),
-	})
+	sys, err := dynnoffload.NewSystem(m, dynnoffload.WithPlatform(dynnoffload.A100Platform()))
 	if err != nil {
 		fatal(err)
 	}

@@ -12,31 +12,50 @@
 //     virtual-time GPU/PCIe simulator, with mis-prediction handling;
 //   - the baselines the paper compares against: unmodified PyTorch-style
 //     in-memory training, CUDA unified virtual memory (UVM), dynamic tensor
-//     rematerialization (DTR), and ZeRO-Offload.
+//     rematerialization (DTR), and ZeRO-Offload — all behind the Runner
+//     interface.
 //
 // Quick start (see examples/quickstart for a runnable version):
 //
 //	model := dynnoffload.NewTreeLSTM(dynnoffload.TreeLSTMConfig{
 //		Levels: 6, Hidden: 256, SeqLen: 16, Batch: 8, Seed: 1,
 //	})
-//	sys, err := dynnoffload.NewSystem(dynnoffload.SystemConfig{
-//		Model:    model,
-//		Platform: dynnoffload.RTXPlatform().WithMemory(dynnoffload.GiB(1)),
-//	})
+//	sys, err := dynnoffload.NewSystem(model,
+//		dynnoffload.WithPlatform(dynnoffload.RTXPlatform().WithMemory(dynnoffload.GiB(1))),
+//	)
 //	...
 //	report, err := sys.TrainEpoch(samples)
 package dynnoffload
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
-	"dynnoffload/internal/baselines"
 	"dynnoffload/internal/core"
 	"dynnoffload/internal/dynn"
 	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/obsv"
 	"dynnoffload/internal/pilot"
 	"dynnoffload/internal/sentinel"
 	"dynnoffload/internal/trace"
+)
+
+// Typed sentinel errors. Callers match with errors.Is; the wrapped messages
+// keep the human-readable detail.
+var (
+	// ErrPilotNotTrained: TrainEpoch/PilotAccuracy/the dynn-offload runner
+	// need a trained pilot (supply one with WithPilot or call TrainPilot).
+	ErrPilotNotTrained = core.ErrPilotNotTrained
+	// ErrUnknownPath: a sample resolved to a path absent from the model
+	// context.
+	ErrUnknownPath = core.ErrUnknownPath
+	// ErrCapacityExceeded: the path cannot run under the platform's memory.
+	ErrCapacityExceeded = core.ErrCapacityExceeded
+	// ErrUnknownRunner: the policy name is not in the runner registry.
+	ErrUnknownRunner = errors.New("dynnoffload: unknown runner")
+	// ErrModelRequired: NewSystem needs a non-nil model.
+	ErrModelRequired = errors.New("dynnoffload: model is required")
 )
 
 // Re-exported model zoo types and constructors.
@@ -98,7 +117,8 @@ var (
 )
 
 // SystemConfig configures a DyNN-Offload training system for one model on
-// one platform.
+// one platform. Prefer the functional-options form of NewSystem; this struct
+// remains for NewSystemFromConfig.
 type SystemConfig struct {
 	Model    dynn.Model
 	Platform gpusim.Platform
@@ -107,7 +127,25 @@ type SystemConfig struct {
 	Pilot *pilot.Pilot
 	// PilotConfig configures the pilot trained by TrainPilot.
 	PilotConfig pilot.Config
+	// Workers sizes TrainEpoch's worker pool: 0 runs serially, <0 uses
+	// GOMAXPROCS. Epoch aggregates are identical at any setting.
+	Workers int
 }
+
+// Option mutates a SystemConfig during NewSystem.
+type Option func(*SystemConfig)
+
+// WithPlatform selects the hardware platform (default: RTXPlatform).
+func WithPlatform(p Platform) Option { return func(c *SystemConfig) { c.Platform = p } }
+
+// WithPilotConfig configures the pilot trained by TrainPilot.
+func WithPilotConfig(pc PilotConfig) Option { return func(c *SystemConfig) { c.PilotConfig = pc } }
+
+// WithPilot supplies a pre-trained pilot so TrainPilot can be skipped.
+func WithPilot(p *Pilot) Option { return func(c *SystemConfig) { c.Pilot = p } }
+
+// WithWorkers sizes TrainEpoch's worker pool: 0 serial, <0 GOMAXPROCS.
+func WithWorkers(n int) Option { return func(c *SystemConfig) { c.Workers = n } }
 
 // System couples a model context, a pilot model, and the DyNN-Offload
 // runtime — the paper's Fig 2 architecture.
@@ -116,14 +154,39 @@ type System struct {
 	ctx    *pilot.ModelContext
 	pilot  *pilot.Pilot
 	engine *core.Engine
+
+	runnerMu sync.Mutex
+	runners  map[string]Runner
 }
 
-// NewSystem builds the system: it enumerates the model's resolution paths,
-// runs the Sentinel partitioner at the platform's double-buffer budget for
-// every path (the offline labeling of §IV-D), and prepares the runtime.
-func NewSystem(cfg SystemConfig) (*System, error) {
+// NewSystem builds the system for a model: it enumerates the model's
+// resolution paths, runs the Sentinel partitioner at the platform's
+// double-buffer budget for every path (the offline labeling of §IV-D), and
+// prepares the runtime. Unset options default to the RTX platform and the
+// zero-valued pilot config.
+func NewSystem(model Model, opts ...Option) (*System, error) {
+	cfg := SystemConfig{Model: model}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return newSystem(cfg)
+}
+
+// NewSystemFromConfig builds the system from a fully-populated config
+// struct.
+//
+// Deprecated: use NewSystem(model, WithPlatform(...), ...). This wrapper
+// exists for callers written against the struct-based constructor.
+func NewSystemFromConfig(cfg SystemConfig) (*System, error) {
+	return newSystem(cfg)
+}
+
+func newSystem(cfg SystemConfig) (*System, error) {
 	if cfg.Model == nil {
-		return nil, fmt.Errorf("dynnoffload: SystemConfig.Model is required")
+		return nil, ErrModelRequired
+	}
+	if cfg.Platform.GPU.MemBytes == 0 {
+		cfg.Platform = RTXPlatform()
 	}
 	cm := gpusim.NewCostModel(cfg.Platform)
 	ctx, err := pilot.NewModelContext(cfg.Model, cm, cfg.Platform.GPU.MemBytes/2, cfg.PilotConfig.MaxBlocks)
@@ -162,7 +225,7 @@ func (s *System) TrainPilot(samples []*dynn.Sample) (pilot.TrainResult, error) {
 // mis-prediction count.
 func (s *System) PilotAccuracy(samples []*dynn.Sample) (float64, int, error) {
 	if s.pilot == nil {
-		return 0, 0, fmt.Errorf("dynnoffload: pilot not trained")
+		return 0, 0, fmt.Errorf("dynnoffload: %w", ErrPilotNotTrained)
 	}
 	exs, err := s.Examples(samples)
 	if err != nil {
@@ -175,20 +238,58 @@ func (s *System) PilotAccuracy(samples []*dynn.Sample) (float64, int, error) {
 // EpochReport is the result of a simulated training epoch.
 type EpochReport = core.EpochReport
 
+// RunStats is the observability snapshot of one run (throughput, rates,
+// per-phase latency histograms).
+type RunStats = obsv.RunStats
+
 // TrainEpoch simulates DyNN-Offload training over the samples (one
-// iteration each) and aggregates time, traffic, and mis-predictions.
+// iteration each) and aggregates time, traffic, and mis-predictions. With
+// WithWorkers(n != 0) the epoch fans out across the parallel runtime;
+// aggregates are identical to the serial run.
 func (s *System) TrainEpoch(samples []*dynn.Sample) (EpochReport, error) {
+	return s.TrainEpochStats(samples, nil)
+}
+
+// TrainEpochStats is TrainEpoch with an optional observability recorder
+// (see internal/obsv via the RunStats alias); pass nil to skip recording.
+func (s *System) TrainEpochStats(samples []*dynn.Sample, rec *obsv.Recorder) (EpochReport, error) {
 	if s.engine == nil {
-		return EpochReport{}, fmt.Errorf("dynnoffload: pilot not trained (call TrainPilot)")
+		return EpochReport{}, fmt.Errorf("dynnoffload: %w (call TrainPilot)", ErrPilotNotTrained)
 	}
 	exs, err := s.Examples(samples)
 	if err != nil {
 		return EpochReport{}, err
 	}
-	return s.engine.RunEpoch(exs)
+	if s.cfg.Workers == 0 && rec == nil {
+		return s.engine.RunEpoch(exs)
+	}
+	workers := s.cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	return s.engine.ParallelRunEpoch(exs, core.EpochOptions{Workers: workers, Recorder: rec})
+}
+
+// NewRecorder builds an observability recorder for one run; sink may be nil
+// (counters only) or a JSONL sink from NewJSONLSink.
+var (
+	NewRecorder  = obsv.NewRecorder
+	NewJSONLSink = obsv.NewJSONLSink
+)
+
+// CacheStats reports the runtime's mis-prediction cache counters; the zero
+// value is returned before the pilot is trained.
+func (s *System) CacheStats() core.CacheStats {
+	if s.engine == nil {
+		return core.CacheStats{}
+	}
+	return s.engine.CacheStats()
 }
 
 // BaselineSystem names a comparison system.
+//
+// Deprecated: baseline names are plain runner-registry names now; use
+// System.Runner with a string. The constants remain as aliases.
 type BaselineSystem string
 
 const (
@@ -196,32 +297,26 @@ const (
 	UVM         BaselineSystem = "uvm"
 	DTR         BaselineSystem = "dtr"
 	ZeROOffload BaselineSystem = "zero-offload"
+	// DyNNOffload is the paper's system itself, registered alongside the
+	// baselines so comparison loops can range over every runner uniformly.
+	DyNNOffload BaselineSystem = "dynn-offload"
 )
 
 // Baseline simulates one training iteration of the model's resolution path
-// for the given sample under a baseline system.
+// for the given sample under a named system.
+//
+// Deprecated: resolve a Runner once with System.Runner and call RunIteration;
+// this wrapper re-encodes the sample on every call.
 func (s *System) Baseline(system BaselineSystem, sample *dynn.Sample) (gpusim.Breakdown, error) {
-	r, err := s.cfg.Model.Resolve(sample)
+	r, err := s.Runner(string(system))
 	if err != nil {
 		return gpusim.Breakdown{}, err
 	}
-	info := s.ctx.PathByKey(pilot.PathKey(r))
-	if info == nil {
-		return gpusim.Breakdown{}, fmt.Errorf("dynnoffload: unknown path")
+	exs, err := s.Examples([]*dynn.Sample{sample})
+	if err != nil {
+		return gpusim.Breakdown{}, err
 	}
-	switch system {
-	case PyTorch:
-		return baselines.PyTorch(info.Analysis, s.cfg.Platform)
-	case UVM:
-		return baselines.UVM(info.Analysis, s.cfg.Platform, baselines.DefaultUVMConfig())
-	case DTR:
-		return baselines.DTR(info.Analysis, s.cfg.Platform, baselines.DefaultDTRConfig())
-	case ZeROOffload:
-		eng := core.NewEngine(core.DefaultConfig(s.cfg.Platform), nil)
-		return baselines.ZeRO(info.Analysis, s.cfg.Platform, s.cfg.Model.Dynamic(),
-			baselines.DefaultZeROConfig(), eng.SimulatePartition)
-	}
-	return gpusim.Breakdown{}, fmt.Errorf("dynnoffload: unknown system %q", system)
+	return r.RunIteration(exs[0])
 }
 
 // Trace produces the dynamic execution trace of a sample's full training
@@ -234,7 +329,7 @@ func (s *System) Trace(sample *dynn.Sample) (*trace.Trace, error) {
 	}
 	info := s.ctx.PathByKey(pilot.PathKey(r))
 	if info == nil {
-		return nil, fmt.Errorf("dynnoffload: unknown path")
+		return nil, fmt.Errorf("dynnoffload: %w", ErrUnknownPath)
 	}
 	return info.Trace, nil
 }
@@ -247,7 +342,7 @@ func (s *System) Blocks(sample *dynn.Sample) ([]sentinel.Block, error) {
 	}
 	info := s.ctx.PathByKey(pilot.PathKey(r))
 	if info == nil {
-		return nil, fmt.Errorf("dynnoffload: unknown path")
+		return nil, fmt.Errorf("dynnoffload: %w", ErrUnknownPath)
 	}
 	return info.Blocks, nil
 }

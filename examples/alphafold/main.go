@@ -25,9 +25,7 @@ func main() {
 	trainSet, testSet := samples[:1400], samples[1400:]
 
 	// Footprint probe at full memory.
-	probe, err := dynnoffload.NewSystem(dynnoffload.SystemConfig{
-		Model: model, Platform: dynnoffload.A100Platform(),
-	})
+	probe, err := dynnoffload.NewSystem(model, dynnoffload.WithPlatform(dynnoffload.A100Platform()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,10 +39,10 @@ func main() {
 	fmt.Printf("\n%-8s %-14s %-14s %-14s\n", "budget", "pytorch", "dtr", "dynn-offload")
 	for _, frac := range []float64{1.1, 0.8, 0.6, 0.45, 0.3} {
 		plat := dynnoffload.A100Platform().WithMemory(int64(frac * float64(total)))
-		sys, err := dynnoffload.NewSystem(dynnoffload.SystemConfig{
-			Model: model, Platform: plat,
-			PilotConfig: dynnoffload.PilotConfig{Neurons: 96, Epochs: 10, Seed: 2},
-		})
+		sys, err := dynnoffload.NewSystem(model,
+			dynnoffload.WithPlatform(plat),
+			dynnoffload.WithPilotConfig(dynnoffload.PilotConfig{Neurons: 96, Epochs: 10, Seed: 2}),
+		)
 		if err != nil {
 			fmt.Printf("%-8.0f%% offload infeasible: %v\n", frac*100, err)
 			continue

@@ -101,10 +101,10 @@ func buildSystem(batch int, plat dynnoffload.Platform) *dynnoffload.System {
 	model := dynnoffload.NewMoE(dynnoffload.MoEConfig{
 		Layers: 4, Hidden: 512, SeqLen: 32, Experts: 4, Batch: batch, Seed: 4,
 	})
-	sys, err := dynnoffload.NewSystem(dynnoffload.SystemConfig{
-		Model: model, Platform: plat,
-		PilotConfig: dynnoffload.PilotConfig{Neurons: 96, Epochs: 8, Seed: 6},
-	})
+	sys, err := dynnoffload.NewSystem(model,
+		dynnoffload.WithPlatform(plat),
+		dynnoffload.WithPilotConfig(dynnoffload.PilotConfig{Neurons: 96, Epochs: 8, Seed: 6}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

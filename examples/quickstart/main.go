@@ -25,11 +25,10 @@ func main() {
 	// tensors must live in CPU memory and stream over PCIe.
 	plat := dynnoffload.RTXPlatform().WithMemory(dynnoffload.MiB(32))
 
-	sys, err := dynnoffload.NewSystem(dynnoffload.SystemConfig{
-		Model:       model,
-		Platform:    plat,
-		PilotConfig: dynnoffload.PilotConfig{Neurons: 128, Epochs: 12, Seed: 7},
-	})
+	sys, err := dynnoffload.NewSystem(model,
+		dynnoffload.WithPlatform(plat),
+		dynnoffload.WithPilotConfig(dynnoffload.PilotConfig{Neurons: 128, Epochs: 12, Seed: 7}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

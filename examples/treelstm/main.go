@@ -43,11 +43,10 @@ func main() {
 	fmt.Println("-> profiling the first iterations says almost nothing about the rest (Table I)")
 
 	// Part 2: the pilot model CAN predict the dynamism.
-	sys, err := dynnoffload.NewSystem(dynnoffload.SystemConfig{
-		Model:       model,
-		Platform:    dynnoffload.RTXPlatform().WithMemory(dynnoffload.MiB(64)),
-		PilotConfig: dynnoffload.PilotConfig{Neurons: 128, Epochs: 14, Seed: 5},
-	})
+	sys, err := dynnoffload.NewSystem(model,
+		dynnoffload.WithPlatform(dynnoffload.RTXPlatform().WithMemory(dynnoffload.MiB(64))),
+		dynnoffload.WithPilotConfig(dynnoffload.PilotConfig{Neurons: 128, Epochs: 14, Seed: 5}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,12 +6,28 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
 	"dynnoffload/internal/gpusim"
 	"dynnoffload/internal/pilot"
+)
+
+// Typed sentinel errors so callers can errors.Is instead of matching message
+// strings.
+var (
+	// ErrPilotNotTrained is returned when the runtime is asked to execute a
+	// sample without a trained pilot model.
+	ErrPilotNotTrained = errors.New("core: pilot not trained")
+	// ErrUnknownPath is returned when a sample's path key does not resolve
+	// in its model context.
+	ErrUnknownPath = errors.New("core: unknown resolution path")
+	// ErrCapacityExceeded is returned when a path cannot run under the
+	// platform's CPU+GPU memory or the double-buffer work budget.
+	ErrCapacityExceeded = errors.New("core: capacity exceeded")
 )
 
 // Config tunes the runtime.
@@ -20,6 +36,11 @@ type Config struct {
 	// HandleMispredictions enables the §IV-E mis-prediction cache: identical
 	// pilot outputs that previously mis-predicted reuse the corrected blocks.
 	HandleMispredictions bool
+	// ExactOutputKeys additionally keys the mis-prediction cache on the
+	// quantized pilot output (the paper's literal "if the two outputs are
+	// exactly the same"). Off by default: the matched-path key alone is the
+	// noise-robust variant evaluated in §VI-H.
+	ExactOutputKeys bool
 	// FaultLatencyNS is charged per execution block when a sample falls back
 	// to on-demand fetching (the tensor-fault handler round trip).
 	FaultLatencyNS int64
@@ -30,19 +51,22 @@ func DefaultConfig(p gpusim.Platform) Config {
 	return Config{Platform: p, HandleMispredictions: true, FaultLatencyNS: 25_000}
 }
 
-// Engine simulates DyNN training under DyNN-Offload.
+// Engine simulates DyNN training under DyNN-Offload. The cost model and the
+// trained pilot are read-only at run time, and the mis-prediction cache is
+// sharded, so one Engine may execute many samples concurrently (RunSample
+// from several goroutines, or ParallelRunEpoch).
 type Engine struct {
 	Cfg   Config
 	CM    gpusim.CostModel
 	Pilot *pilot.Pilot
 
-	// mis-prediction cache: quantized pilot output -> corrected path key.
-	cache map[string]string
+	// mis-prediction cache: cache key -> corrected path key.
+	cache *shardedCache
 }
 
 // NewEngine builds a runtime around a trained pilot.
 func NewEngine(cfg Config, p *pilot.Pilot) *Engine {
-	return &Engine{Cfg: cfg, CM: gpusim.NewCostModel(cfg.Platform), Pilot: p, cache: map[string]string{}}
+	return &Engine{Cfg: cfg, CM: gpusim.NewCostModel(cfg.Platform), Pilot: p, cache: newShardedCache()}
 }
 
 // SampleResult reports one simulated training iteration of one sample.
@@ -64,26 +88,50 @@ type EpochReport struct {
 	MappingNS      int64
 }
 
-// outputKey quantizes a pilot output vector; near-identical outputs collide.
+// add folds one sample result into the report. All fields are commutative
+// sums (Breakdown.Add takes a max only for the peak), so folding in any
+// order yields the same report — what makes parallel aggregation exact.
+func (rep *EpochReport) add(r SampleResult) {
+	rep.Breakdown = rep.Breakdown.Add(r.Breakdown)
+	rep.Samples++
+	if r.Mispredicted {
+		rep.Mispredictions++
+	}
+	if r.CacheHit {
+		rep.CacheHits++
+	}
+	rep.PilotNS += r.PilotNS
+	rep.MappingNS += r.MappingNS
+}
+
+// outputKey quantizes a pilot output vector to the nearest integer per
+// dimension; near-identical outputs collide. math.Round (not int64(v+0.5),
+// which truncates negatives toward zero) keeps negative outputs on their own
+// keys: -0.7 rounds to -1, not to the same bucket as +0.3.
 func outputKey(out []float64) string {
 	var sb strings.Builder
 	for _, v := range out {
-		sb.WriteString(strconv.FormatInt(int64(v+0.5), 10))
+		sb.WriteString(strconv.FormatInt(int64(math.Round(v)), 10))
 		sb.WriteByte(',')
 	}
 	return sb.String()
 }
 
-// RunSample simulates one training iteration: pilot inference, output→path
-// mapping, mis-prediction check, and double-buffered (or on-demand) execution
-// of the sample's ground-truth iteration.
-func (e *Engine) RunSample(ex *pilot.Example) (SampleResult, error) {
-	var res SampleResult
+// decision is the cache-dependent part of one sample's execution: which path
+// the runtime prefetches for, and whether that was a mis-prediction. It is
+// computed serially in sample order so cache evolution — and therefore every
+// epoch aggregate — is identical at any worker count.
+type decision struct {
+	truth        *pilot.PathInfo
+	mispredicted bool
+	cacheHit     bool
+}
 
-	resolution := e.Pilot.Resolve(ex)
-	res.PilotNS = resolution.InferNS
-	res.MappingNS = resolution.MapNS
-
+// decide consults and updates the mis-prediction cache for one resolved
+// sample and validates capacity. It is the only stage of a sample's
+// execution whose outcome depends on the samples before it.
+func (e *Engine) decide(ex *pilot.Example, resolution *pilot.Resolution) (decision, error) {
+	var d decision
 	predKey := ""
 	if resolution.Path != nil {
 		predKey = resolution.Path.Key
@@ -92,35 +140,70 @@ func (e *Engine) RunSample(ex *pilot.Example) (SampleResult, error) {
 	// path's bookkeeping record exactly (the suspicious case) and an output
 	// like it previously mis-predicted, reuse the recorded correct blocks.
 	// Keying on the (matched path, inexact) pair is the noise-robust analog
-	// of the paper's "if the two outputs are exactly the same".
+	// of the paper's "if the two outputs are exactly the same"; Config.
+	// ExactOutputKeys appends the quantized output for the literal variant.
 	cacheKey := ""
 	if e.Cfg.HandleMispredictions && !resolution.Exact && predKey != "" {
 		cacheKey = predKey
-		if corrected, ok := e.cache[cacheKey]; ok {
+		if e.Cfg.ExactOutputKeys {
+			cacheKey = predKey + "|" + outputKey(resolution.Output)
+		}
+		if corrected, ok := e.cache.Lookup(cacheKey); ok {
 			predKey = corrected
-			res.CacheHit = true
+			d.cacheHit = true
 		}
 	}
 
-	truth := ex.Ctx.PathByKey(ex.TruthKey)
-	if truth == nil {
-		return res, fmt.Errorf("core: unknown truth path %q", ex.TruthKey)
+	d.truth = ex.Ctx.PathByKey(ex.TruthKey)
+	if d.truth == nil {
+		return d, fmt.Errorf("core: truth path %q: %w", ex.TruthKey, ErrUnknownPath)
 	}
-	if err := e.checkCapacity(truth); err != nil {
-		return res, err
+	if err := e.checkCapacity(d.truth); err != nil {
+		return d, err
 	}
 
-	res.Mispredicted = predKey != ex.TruthKey
-	if res.Mispredicted {
+	d.mispredicted = predKey != ex.TruthKey
+	if d.mispredicted && cacheKey != "" {
 		// Record the corrected resolution for future identical outputs and
 		// for the next offline pilot-training round.
-		if cacheKey != "" {
-			e.cache[cacheKey] = ex.TruthKey
-		}
-		res.Breakdown = e.simulateOnDemand(truth.Analysis, truth.Blocks)
-	} else {
-		res.Breakdown = e.simulatePipelined(truth.Analysis, truth.Blocks)
+		e.cache.Insert(cacheKey, ex.TruthKey)
 	}
+	return d, nil
+}
+
+// simulate executes the decided sample: double-buffered prefetch on a correct
+// prediction, on-demand fallback on a mis-prediction. Read-only on the
+// engine; safe to run concurrently.
+func (e *Engine) simulate(d decision) gpusim.Breakdown {
+	if d.mispredicted {
+		return e.simulateOnDemand(d.truth.Analysis, d.truth.Blocks)
+	}
+	return e.simulatePipelined(d.truth.Analysis, d.truth.Blocks)
+}
+
+// RunSample simulates one training iteration: pilot inference, output→path
+// mapping, mis-prediction check, and double-buffered (or on-demand) execution
+// of the sample's ground-truth iteration. Safe for concurrent use; note that
+// under concurrency the cache interleaving (and so individual CacheHit flags)
+// depends on scheduling — use ParallelRunEpoch for deterministic epoch
+// aggregates.
+func (e *Engine) RunSample(ex *pilot.Example) (SampleResult, error) {
+	var res SampleResult
+	if e.Pilot == nil {
+		return res, ErrPilotNotTrained
+	}
+
+	resolution := e.Pilot.Resolve(ex)
+	res.PilotNS = resolution.InferNS
+	res.MappingNS = resolution.MapNS
+
+	d, err := e.decide(ex, &resolution)
+	if err != nil {
+		return res, err
+	}
+	res.Mispredicted = d.mispredicted
+	res.CacheHit = d.cacheHit
+	res.Breakdown = e.simulate(d)
 	res.Breakdown.OverheadNS += res.PilotNS + res.MappingNS
 	return res, nil
 }
@@ -132,10 +215,10 @@ func (e *Engine) checkCapacity(info *pilot.PathInfo) error {
 	total := info.Trace.TotalBytes()
 	avail := e.Cfg.Platform.CPUMemBytes + e.Cfg.Platform.GPU.MemBytes
 	if total > avail {
-		return fmt.Errorf("core: model needs %d bytes, CPU+GPU have %d", total, avail)
+		return fmt.Errorf("core: model needs %d bytes, CPU+GPU have %d: %w", total, avail, ErrCapacityExceeded)
 	}
 	if maxOp := info.Analysis.MaxSingleOpBytes(); maxOp > e.workBufferBytes() {
-		return fmt.Errorf("core: op working set %d exceeds work buffer %d", maxOp, e.workBufferBytes())
+		return fmt.Errorf("core: op working set %d exceeds work buffer %d: %w", maxOp, e.workBufferBytes(), ErrCapacityExceeded)
 	}
 	return nil
 }
@@ -144,7 +227,8 @@ func (e *Engine) checkCapacity(info *pilot.PathInfo) error {
 // "GPU memory is partitioned into two equal-sized buffers").
 func (e *Engine) workBufferBytes() int64 { return e.Cfg.Platform.GPU.MemBytes / 2 }
 
-// RunEpoch simulates one epoch (one iteration per example) and aggregates.
+// RunEpoch simulates one epoch (one iteration per example) serially and
+// aggregates. ParallelRunEpoch produces the same report on any worker count.
 func (e *Engine) RunEpoch(examples []*pilot.Example) (EpochReport, error) {
 	var rep EpochReport
 	for _, ex := range examples {
@@ -152,22 +236,17 @@ func (e *Engine) RunEpoch(examples []*pilot.Example) (EpochReport, error) {
 		if err != nil {
 			return rep, err
 		}
-		rep.Breakdown = rep.Breakdown.Add(r.Breakdown)
-		rep.Samples++
-		if r.Mispredicted {
-			rep.Mispredictions++
-		}
-		if r.CacheHit {
-			rep.CacheHits++
-		}
-		rep.PilotNS += r.PilotNS
-		rep.MappingNS += r.MappingNS
+		rep.add(r)
 	}
 	return rep, nil
 }
 
 // ResetCache clears the mis-prediction cache (between experiments).
-func (e *Engine) ResetCache() { e.cache = map[string]string{} }
+func (e *Engine) ResetCache() { e.cache.Reset() }
 
 // CacheSize returns the number of recorded mis-prediction outputs.
-func (e *Engine) CacheSize() int { return len(e.cache) }
+func (e *Engine) CacheSize() int { return e.cache.Len() }
+
+// CacheStats reports mis-prediction cache hit/miss/insert counters since the
+// last ResetCache.
+func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }

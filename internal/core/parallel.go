@@ -1,0 +1,143 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"dynnoffload/internal/obsv"
+	"dynnoffload/internal/pilot"
+)
+
+// EpochOptions configures ParallelRunEpoch.
+type EpochOptions struct {
+	// Workers is the goroutine-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Recorder, when non-nil, receives per-phase timings ("pilot",
+	// "mapping", "simulate") and per-sample outcomes.
+	Recorder *obsv.Recorder
+}
+
+// Observability phase names recorded by ParallelRunEpoch.
+const (
+	PhasePilot    = "pilot"
+	PhaseMapping  = "mapping"
+	PhaseSimulate = "simulate"
+)
+
+// ParallelRunEpoch simulates one epoch across a worker pool and produces an
+// EpochReport identical to serial RunEpoch at any worker count.
+//
+// A sample's execution has exactly one order-dependent stage: the
+// mis-prediction cache consult/update, whose outcome depends on which earlier
+// samples already mis-predicted. So the epoch runs as a three-phase pipeline:
+//
+//  1. pilot resolution (inference + output→path mapping) fans out across
+//     workers — read-only on the pilot and cost model;
+//  2. a serial cache pass walks samples in their seeded order, replicating
+//     the exact cache evolution of RunEpoch (lookups, inserts, capacity
+//     checks, and the first-error cutoff);
+//  3. block simulation fans out across workers again, streaming
+//     SampleResults through a channel into an order-independent aggregation
+//     (every EpochReport field is a commutative sum or max).
+//
+// Phases 1 and 3 carry all the per-sample compute; phase 2 is O(1) map work
+// per sample.
+func (e *Engine) ParallelRunEpoch(examples []*pilot.Example, opts EpochOptions) (EpochReport, error) {
+	var rep EpochReport
+	if e.Pilot == nil {
+		return rep, ErrPilotNotTrained
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(examples) && len(examples) > 0 {
+		workers = len(examples)
+	}
+	if len(examples) == 0 {
+		return rep, nil
+	}
+	rec := opts.Recorder
+
+	// Phase 1: concurrent pilot resolution.
+	resolutions := make([]pilot.Resolution, len(examples))
+	fanOut(len(examples), workers, func(i int) {
+		resolutions[i] = e.Pilot.Resolve(examples[i])
+		if rec != nil {
+			rec.ObservePhase(PhasePilot, resolutions[i].InferNS)
+			rec.ObservePhase(PhaseMapping, resolutions[i].MapNS)
+		}
+	})
+
+	// Phase 2: serial, deterministic cache pass in seeded sample order. On
+	// error, samples before the failing one still count — matching serial
+	// RunEpoch, which aggregates up to the first error.
+	decisions := make([]decision, len(examples))
+	n := len(examples)
+	var firstErr error
+	for i, ex := range examples {
+		d, err := e.decide(ex, &resolutions[i])
+		if err != nil {
+			n, firstErr = i, err
+			break
+		}
+		decisions[i] = d
+	}
+
+	// Phase 3: concurrent simulation, streamed through a channel so
+	// aggregation never waits on stragglers in index order.
+	results := make(chan SampleResult, workers)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fanOut(n, workers, func(i int) {
+			var res SampleResult
+			res.PilotNS = resolutions[i].InferNS
+			res.MappingNS = resolutions[i].MapNS
+			res.Mispredicted = decisions[i].mispredicted
+			res.CacheHit = decisions[i].cacheHit
+			simStart := time.Now()
+			res.Breakdown = e.simulate(decisions[i])
+			res.Breakdown.OverheadNS += res.PilotNS + res.MappingNS
+			if rec != nil {
+				rec.ObservePhase(PhaseSimulate, time.Since(simStart).Nanoseconds())
+				rec.ObserveSample(i, res.Mispredicted, res.CacheHit, res.Breakdown.TotalNS())
+			}
+			results <- res
+		})
+		close(results)
+	}()
+	for res := range results {
+		rep.add(res)
+	}
+	wg.Wait()
+	return rep, firstErr
+}
+
+// fanOut runs fn(i) for i in [0, n) across a pool of workers.
+func fanOut(n, workers int, fn func(i int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

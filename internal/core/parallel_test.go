@@ -1,0 +1,240 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/obsv"
+)
+
+// simFields projects out every deterministic (virtual-time) field of a
+// breakdown; OverheadNS is excluded because it folds in wall-clock-measured
+// pilot latency.
+func simFields(b gpusim.Breakdown) string {
+	return fmt.Sprintf("compute=%d exposed=%d overlap=%d remat=%d fault=%d h2d=%d d2h=%d faults=%d peak=%d",
+		b.ComputeNS, b.ExposedXferNS, b.OverlapXferNS, b.RematNS, b.FaultNS,
+		b.H2DBytes, b.D2HBytes, b.Faults, b.PeakGPUBytes)
+}
+
+// TestParallelEpochDeterminism: ParallelRunEpoch must produce the same epoch
+// aggregates as serial RunEpoch at any worker count — the sharded cache's
+// serial decision pass keeps cache evolution order-independent of scheduling.
+func TestParallelEpochDeterminism(t *testing.T) {
+	_, test, p, plat := testBench(t)
+
+	serial := NewEngine(DefaultConfig(plat), p)
+	want, err := serial.RunEpoch(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		eng := NewEngine(DefaultConfig(plat), p)
+		got, err := eng.ParallelRunEpoch(test, EpochOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Samples != want.Samples ||
+			got.Mispredictions != want.Mispredictions ||
+			got.CacheHits != want.CacheHits {
+			t.Errorf("workers=%d: counts diverge: got %d/%d/%d want %d/%d/%d",
+				workers, got.Samples, got.Mispredictions, got.CacheHits,
+				want.Samples, want.Mispredictions, want.CacheHits)
+		}
+		if g, w := simFields(got.Breakdown), simFields(want.Breakdown); g != w {
+			t.Errorf("workers=%d: breakdown diverges:\ngot  %s\nwant %s", workers, g, w)
+		}
+		if eng.CacheSize() != serial.CacheSize() {
+			t.Errorf("workers=%d: cache size %d, serial %d", workers, eng.CacheSize(), serial.CacheSize())
+		}
+	}
+}
+
+// TestParallelEpochRecorder checks the observability surface fed by the
+// parallel runtime.
+func TestParallelEpochRecorder(t *testing.T) {
+	_, test, p, plat := testBench(t)
+	eng := NewEngine(DefaultConfig(plat), p)
+	rec := obsv.NewRecorder("core-test", 4, nil)
+	rep, err := eng.ParallelRunEpoch(test, EpochOptions{Workers: 4, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := rec.Finish()
+	if stats.Samples != int64(rep.Samples) {
+		t.Errorf("recorder samples %d != report %d", stats.Samples, rep.Samples)
+	}
+	if stats.Mispredicts != int64(rep.Mispredictions) || stats.CacheHits != int64(rep.CacheHits) {
+		t.Errorf("recorder outcome counts diverge from report: %+v vs %+v", stats, rep)
+	}
+	for _, phase := range []string{PhasePilot, PhaseMapping, PhaseSimulate} {
+		if stats.Phases[phase].Count != int64(rep.Samples) {
+			t.Errorf("phase %s count = %d, want %d", phase, stats.Phases[phase].Count, rep.Samples)
+		}
+	}
+	if stats.SamplesPerSec <= 0 {
+		t.Error("no throughput derived")
+	}
+}
+
+func TestParallelEpochRequiresPilot(t *testing.T) {
+	_, test, _, plat := testBench(t)
+	eng := NewEngine(DefaultConfig(plat), nil)
+	if _, err := eng.ParallelRunEpoch(test, EpochOptions{}); !errors.Is(err, ErrPilotNotTrained) {
+		t.Errorf("err = %v, want ErrPilotNotTrained", err)
+	}
+	if _, err := eng.RunSample(test[0]); !errors.Is(err, ErrPilotNotTrained) {
+		t.Errorf("RunSample err = %v, want ErrPilotNotTrained", err)
+	}
+}
+
+func TestParallelEpochEmpty(t *testing.T) {
+	_, _, p, plat := testBench(t)
+	eng := NewEngine(DefaultConfig(plat), p)
+	rep, err := eng.ParallelRunEpoch(nil, EpochOptions{Workers: 8})
+	if err != nil || rep.Samples != 0 {
+		t.Errorf("empty epoch: %+v, %v", rep, err)
+	}
+}
+
+// TestShardedCacheRace hammers the cache from 16 goroutines; run under
+// `go test -race` this proves the striping sound.
+func TestShardedCacheRace(t *testing.T) {
+	c := newShardedCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("path-%d", i%37)
+				if _, ok := c.Lookup(key); !ok {
+					c.Insert(key, fmt.Sprintf("truth-%d-%d", g, i))
+				}
+				if i%97 == 0 {
+					_ = c.Len()
+					_ = c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries == 0 || st.Entries > 37 {
+		t.Errorf("entries = %d, want 1..37", st.Entries)
+	}
+	if st.Hits+st.Misses != 16*500 {
+		t.Errorf("lookups = %d, want %d", st.Hits+st.Misses, 16*500)
+	}
+	if st.HitRate() <= 0 || st.HitRate() >= 1 {
+		t.Errorf("hit rate = %v", st.HitRate())
+	}
+	c.Reset()
+	if s := c.Stats(); s.Entries != 0 || s.Hits != 0 || s.Misses != 0 || s.Inserts != 0 {
+		t.Errorf("reset left state: %+v", s)
+	}
+}
+
+// TestConcurrentRunSample: direct concurrent use of RunSample must be safe
+// (individual cache-hit flags may vary with interleaving; totals must not
+// corrupt).
+func TestConcurrentRunSample(t *testing.T) {
+	_, test, p, plat := testBench(t)
+	eng := NewEngine(DefaultConfig(plat), p)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(test))
+	for i := range test {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := eng.RunSample(test[i]); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelEpochSpeedup checks that the worker pool actually buys wall
+// clock on multi-core hosts. Skipped below 4 CPUs: goroutines time-slicing
+// one core cannot beat a single worker, and the determinism tests above
+// already cover correctness there.
+func TestParallelEpochSpeedup(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d: need >=4 CPUs for a meaningful speedup check", runtime.GOMAXPROCS(0))
+	}
+	_, test, p, plat := testBench(t)
+
+	epoch := func(workers int) time.Duration {
+		eng := NewEngine(DefaultConfig(plat), p)
+		t0 := time.Now()
+		if _, err := eng.ParallelRunEpoch(test, EpochOptions{Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	epoch(1) // warm up allocator and branch predictors
+	best := 0.0
+	for attempt := 0; attempt < 3; attempt++ {
+		serial := epoch(1)
+		par := epoch(4)
+		if s := float64(serial) / float64(par); s > best {
+			best = s
+		}
+		if best >= 1.5 {
+			return
+		}
+	}
+	t.Errorf("4-worker epoch only %.2fx faster than 1 worker, want >=1.5x", best)
+}
+
+// TestOutputKeyNegative is the regression for the int64(v+0.5) truncation
+// bug: negative outputs rounded toward zero, colliding with small positive
+// outputs in the mis-prediction cache.
+func TestOutputKeyNegative(t *testing.T) {
+	if a, b := outputKey([]float64{-0.7}), outputKey([]float64{0.3}); a == b {
+		t.Errorf("-0.7 and +0.3 must not share a key: %q", a)
+	}
+	if a, b := outputKey([]float64{-1.6}), outputKey([]float64{-0.6}); a == b {
+		t.Errorf("-1.6 and -0.6 must not share a key: %q", a)
+	}
+	// Round-to-nearest still buckets noise around the same integer.
+	if a, b := outputKey([]float64{-0.9, 2.1}), outputKey([]float64{-1.1, 1.8}); a != b {
+		t.Errorf("near-identical outputs must collide: %q vs %q", a, b)
+	}
+}
+
+// TestExactOutputKeys: the paper-literal cache keying must still converge —
+// repeated identical outputs hit the cache.
+func TestExactOutputKeys(t *testing.T) {
+	_, test, p, plat := testBench(t)
+	cfg := DefaultConfig(plat)
+	cfg.ExactOutputKeys = true
+	eng := NewEngine(cfg, p)
+	rep, err := eng.RunEpoch(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mispredictions > 0 && eng.CacheSize() == 0 {
+		t.Error("cache empty despite mispredictions")
+	}
+	// Determinism must hold in this mode too.
+	eng2 := NewEngine(cfg, p)
+	rep2, err := eng2.ParallelRunEpoch(test, EpochOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Mispredictions != rep.Mispredictions || rep2.CacheHits != rep.CacheHits {
+		t.Errorf("exact-key mode diverges: %d/%d vs %d/%d",
+			rep2.Mispredictions, rep2.CacheHits, rep.Mispredictions, rep.CacheHits)
+	}
+}

@@ -86,6 +86,10 @@ type Options struct {
 	// memory-pressure regime the paper's full-scale models face on a real
 	// GPU.
 	PressureFraction float64
+	// Workers sizes the epoch worker pool for DyNN-Offload epochs: 0 runs
+	// serially, <0 uses GOMAXPROCS. Results are identical at any setting
+	// (the parallel runtime is deterministic); only wall clock changes.
+	Workers int
 }
 
 // DefaultOptions returns CI-scale options.
@@ -222,6 +226,15 @@ func (wb *Workbench) Engine(mb *ModelBench) *core.Engine {
 	return core.NewEngine(core.DefaultConfig(mb.Platform), wb.Pilot)
 }
 
+// runEpoch executes an epoch serially or, when Options.Workers is set, on
+// the parallel runtime (identical aggregates either way).
+func (wb *Workbench) runEpoch(eng *core.Engine, mb *ModelBench) (core.EpochReport, error) {
+	if wb.Opts.Workers == 0 {
+		return eng.RunEpoch(mb.Test)
+	}
+	return eng.ParallelRunEpoch(mb.Test, core.EpochOptions{Workers: wb.Opts.Workers})
+}
+
 // epochBaseline simulates an epoch under a per-path-cached baseline policy.
 func epochBaseline(mb *ModelBench, run func(info *pilot.PathInfo) (gpusim.Breakdown, error)) (gpusim.Breakdown, error) {
 	cache := map[string]gpusim.Breakdown{}
@@ -266,7 +279,7 @@ func (wb *Workbench) systemEpoch(mb *ModelBench, system string) (gpusim.Breakdow
 		})
 	case "dynn-offload":
 		eng := wb.Engine(mb)
-		rep, err := eng.RunEpoch(mb.Test)
+		rep, err := wb.runEpoch(eng, mb)
 		return rep.Breakdown, err
 	}
 	return gpusim.Breakdown{}, fmt.Errorf("expt: unknown system %q", system)

@@ -183,6 +183,23 @@ func (m *MLP) Forward(in []float64) []float64 {
 	return m.acts[len(m.acts)-1]
 }
 
+// Infer runs inference like Forward but allocates fresh activation buffers
+// instead of using the MLP's shared scratch, so any number of Infer calls may
+// run concurrently on one MLP (the weights are read-only here). Training
+// (TrainStep) must not run concurrently with Infer.
+func (m *MLP) Infer(in []float64) []float64 {
+	if len(in) != m.InputSize() {
+		panic(fmt.Sprintf("nn: Infer input width %d, want %d", len(in), m.InputSize()))
+	}
+	cur := in
+	for _, l := range m.Layers {
+		out := make([]float64, l.Out)
+		l.Forward(cur, out)
+		cur = out
+	}
+	return cur
+}
+
 // gradClip bounds the output-delta norm per training step, preventing
 // divergence at large hidden widths.
 const gradClip = 4.0

@@ -1,0 +1,53 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event types written to the JSONL sink.
+const (
+	EventRunStart = "run_start"
+	EventSample   = "sample"
+	EventRunEnd   = "run_end"
+)
+
+// Event is one JSONL record. TimeNS is relative to the recorder's start so
+// traces from concurrent runs line up without wall-clock skew.
+type Event struct {
+	Type         string    `json:"type"`
+	TimeNS       int64     `json:"t_ns"`
+	Label        string    `json:"label,omitempty"`
+	Workers      int       `json:"workers,omitempty"`
+	Sample       int       `json:"sample,omitempty"`
+	DurNS        int64     `json:"dur_ns,omitempty"`
+	Mispredicted bool      `json:"mispredicted,omitempty"`
+	CacheHit     bool      `json:"cache_hit,omitempty"`
+	Stats        *RunStats `json:"stats,omitempty"`
+}
+
+// Sink consumes events. Implementations must be safe for concurrent Emit.
+type Sink interface {
+	Emit(Event)
+}
+
+// JSONLSink writes one JSON object per line to an io.Writer, serialized by a
+// mutex so worker goroutines never interleave lines.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w. The caller owns closing the underlying writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes the event as one JSON line. Encoding errors are intentionally
+// dropped: observability must never fail the run it observes.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(ev)
+}

@@ -3,6 +3,7 @@ package pilot
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"dynnoffload/internal/dynn"
@@ -69,7 +70,9 @@ type Pilot struct {
 	// pilot's normalized label space, where output→path matching happens:
 	// standardization amplifies exactly the dimensions that discriminate
 	// paths, making the match robust to regression noise on the large
-	// non-discriminative descriptor elements.
+	// non-discriminative descriptor elements. Guarded by normMu so Resolve
+	// is safe to call from many goroutines at once.
+	normMu     sync.RWMutex
 	normLabels map[*ModelContext][][]float64
 }
 
@@ -160,7 +163,9 @@ type TrainResult struct {
 func (p *Pilot) Train(examples []*Example) TrainResult {
 	start := time.Now()
 	p.fitScalers(examples)
+	p.normMu.Lock()
 	p.normLabels = map[*ModelContext][][]float64{}
+	p.normMu.Unlock()
 	rng := mathx.NewRNG(p.Cfg.Seed ^ 0x7e41)
 
 	var res TrainResult
@@ -201,7 +206,7 @@ func (p *Pilot) Predict(base dynn.BaseType, features []float64) ([]float64, time
 	start := time.Now()
 	fbuf := make([]float64, len(features))
 	normalize(features, p.featMean, p.featStd, fbuf)
-	raw := p.mlps[int(base)].Forward(fbuf)
+	raw := p.mlps[int(base)].Infer(fbuf)
 	out := make([]float64, len(raw))
 	denormalize(raw, p.labelMean, p.labelStd, out)
 	return out, time.Since(start)
@@ -221,9 +226,13 @@ type Resolution struct {
 const exactMatchRMS = 0.35
 
 // pathLabelsNorm returns (building on first use) the context's path labels in
-// the pilot's normalized label space.
+// the pilot's normalized label space. Safe for concurrent use: the projection
+// is computed outside the lock and the first writer wins.
 func (p *Pilot) pathLabelsNorm(ctx *ModelContext) [][]float64 {
-	if cached, ok := p.normLabels[ctx]; ok {
+	p.normMu.RLock()
+	cached, ok := p.normLabels[ctx]
+	p.normMu.RUnlock()
+	if ok {
 		return cached
 	}
 	out := make([][]float64, len(ctx.Paths))
@@ -232,13 +241,19 @@ func (p *Pilot) pathLabelsNorm(ctx *ModelContext) [][]float64 {
 		normalize(info.Label, p.labelMean, p.labelStd, nl)
 		out[i] = nl
 	}
+	p.normMu.Lock()
+	defer p.normMu.Unlock()
+	if cached, ok := p.normLabels[ctx]; ok {
+		return cached
+	}
 	p.normLabels[ctx] = out
 	return out
 }
 
 // Resolve predicts and maps the output onto a resolution path of the
 // example's model (§IV-B traverse-and-match over the per-block bookkeeping
-// records).
+// records). Resolve is safe for concurrent use once the pilot is trained;
+// it must not run concurrently with Train.
 func (p *Pilot) Resolve(e *Example) Resolution {
 	if p.featMean == nil {
 		panic("pilot: Resolve before Train")
@@ -246,7 +261,7 @@ func (p *Pilot) Resolve(e *Example) Resolution {
 	start := time.Now()
 	fbuf := make([]float64, len(e.Features))
 	normalize(e.Features, p.featMean, p.featStd, fbuf)
-	predNorm := p.mlps[int(e.Base)].Forward(fbuf)
+	predNorm := p.mlps[int(e.Base)].Infer(fbuf)
 	inferNS := time.Since(start).Nanoseconds()
 
 	mapStart := time.Now()

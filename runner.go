@@ -1,0 +1,140 @@
+package dynnoffload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dynnoffload/internal/baselines"
+	"dynnoffload/internal/core"
+	"dynnoffload/internal/pilot"
+)
+
+// Runner executes one simulated training iteration per sample under one
+// memory-management policy. The DyNN-Offload engine and every baseline
+// implement it, so comparison code iterates runners instead of switching on
+// name strings. Implementations obtained from System.Runner are safe for
+// concurrent RunIteration calls.
+type Runner interface {
+	// Name is the registry name ("dynn-offload", "pytorch", "uvm", "dtr",
+	// "zero-offload", ...).
+	Name() string
+	// RunIteration simulates one training iteration of the example's
+	// ground-truth resolution path and returns its time/traffic breakdown.
+	RunIteration(ex *PilotExample) (Breakdown, error)
+}
+
+// RunnerFactory builds a runner bound to a system. Factories run once per
+// (System, name) — System.Runner memoizes the result.
+type RunnerFactory func(*System) (Runner, error)
+
+var (
+	runnerMu       sync.RWMutex
+	runnerRegistry = map[string]RunnerFactory{}
+)
+
+// RegisterRunner adds a policy to the registry, replacing any previous entry
+// with the same name. Downstream packages can register custom policies and
+// have them picked up by System.Runner and comparison loops.
+func RegisterRunner(name string, f RunnerFactory) {
+	runnerMu.Lock()
+	defer runnerMu.Unlock()
+	runnerRegistry[name] = f
+}
+
+// RunnerNames lists the registered policy names, sorted.
+func RunnerNames() []string {
+	runnerMu.RLock()
+	defer runnerMu.RUnlock()
+	names := make([]string, 0, len(runnerRegistry))
+	for n := range runnerRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Runner resolves a registered policy for this system. Results are memoized
+// per system, so repeated lookups share one runner (and its state, e.g. the
+// DyNN-Offload mis-prediction cache).
+func (s *System) Runner(name string) (Runner, error) {
+	s.runnerMu.Lock()
+	defer s.runnerMu.Unlock()
+	if r, ok := s.runners[name]; ok {
+		return r, nil
+	}
+	runnerMu.RLock()
+	f, ok := runnerRegistry[name]
+	runnerMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dynnoffload: runner %q: %w", name, ErrUnknownRunner)
+	}
+	r, err := f(s)
+	if err != nil {
+		return nil, err
+	}
+	if s.runners == nil {
+		s.runners = map[string]Runner{}
+	}
+	s.runners[name] = r
+	return r, nil
+}
+
+func init() {
+	RegisterRunner(string(DyNNOffload), func(s *System) (Runner, error) {
+		return &offloadRunner{s: s}, nil
+	})
+	RegisterRunner(string(PyTorch), func(s *System) (Runner, error) {
+		return &pathRunner{name: string(PyTorch), run: func(info *pilot.PathInfo) (Breakdown, error) {
+			return baselines.PyTorch(info.Analysis, s.cfg.Platform)
+		}}, nil
+	})
+	RegisterRunner(string(UVM), func(s *System) (Runner, error) {
+		return &pathRunner{name: string(UVM), run: func(info *pilot.PathInfo) (Breakdown, error) {
+			return baselines.UVM(info.Analysis, s.cfg.Platform, baselines.DefaultUVMConfig())
+		}}, nil
+	})
+	RegisterRunner(string(DTR), func(s *System) (Runner, error) {
+		return &pathRunner{name: string(DTR), run: func(info *pilot.PathInfo) (Breakdown, error) {
+			return baselines.DTR(info.Analysis, s.cfg.Platform, baselines.DefaultDTRConfig())
+		}}, nil
+	})
+	RegisterRunner(string(ZeROOffload), func(s *System) (Runner, error) {
+		eng := core.NewEngine(core.DefaultConfig(s.cfg.Platform), nil)
+		return &pathRunner{name: string(ZeROOffload), run: func(info *pilot.PathInfo) (Breakdown, error) {
+			return baselines.ZeRO(info.Analysis, s.cfg.Platform, s.cfg.Model.Dynamic(),
+				baselines.DefaultZeROConfig(), eng.SimulatePartition)
+		}}, nil
+	})
+}
+
+// pathRunner adapts a per-path baseline simulation to the Runner interface:
+// it looks the example's ground-truth path up in the model context and hands
+// the path analysis to the policy.
+type pathRunner struct {
+	name string
+	run  func(info *pilot.PathInfo) (Breakdown, error)
+}
+
+func (r *pathRunner) Name() string { return r.name }
+
+func (r *pathRunner) RunIteration(ex *PilotExample) (Breakdown, error) {
+	info := ex.Ctx.PathByKey(ex.TruthKey)
+	if info == nil {
+		return Breakdown{}, fmt.Errorf("dynnoffload: path %q: %w", ex.TruthKey, ErrUnknownPath)
+	}
+	return r.run(info)
+}
+
+// offloadRunner is the DyNN-Offload engine behind the Runner interface.
+type offloadRunner struct{ s *System }
+
+func (r *offloadRunner) Name() string { return string(DyNNOffload) }
+
+func (r *offloadRunner) RunIteration(ex *PilotExample) (Breakdown, error) {
+	if r.s.engine == nil {
+		return Breakdown{}, fmt.Errorf("dynnoffload: %w (call TrainPilot)", ErrPilotNotTrained)
+	}
+	res, err := r.s.engine.RunSample(ex)
+	return res.Breakdown, err
+}
