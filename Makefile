@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race race-full fmt vet bench
+.PHONY: build test check race race-full fmt vet lint bench
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,12 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Project-specific static analysis (internal/lint): determinism, lock
+# copies, float equality, error discipline, and library panics. Fails on any
+# unsuppressed finding.
+lint:
+	$(GO) run ./cmd/dynnlint ./...
+
 # Race-check the concurrent runtime (sharded cache, parallel epochs, pilot).
 race:
 	$(GO) test -race ./internal/core/... ./internal/obsv/... ./internal/pilot/...
@@ -27,7 +33,7 @@ race-full:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# The tier-1 gate: build, vet, formatting, full tests, and the race pass
-# over the concurrent packages.
-check: build vet fmt test race
+# The tier-1 gate: build, vet, formatting, project lint, full tests, and the
+# race pass over the concurrent packages.
+check: build vet fmt lint test race
 	@echo "check: OK"

@@ -57,8 +57,12 @@ func logTable(b *testing.B, t *expt.Table) {
 
 func BenchmarkTableI(b *testing.B) {
 	var t *expt.Table
+	var err error
 	for i := 0; i < b.N; i++ {
-		t = expt.TableI(2000, 42)
+		t, err = expt.TableI(2000, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	logTable(b, t)
 }
@@ -81,16 +85,24 @@ func BenchmarkHeuristicStudy(b *testing.B) {
 
 func BenchmarkLargestModel(b *testing.B) {
 	var t *expt.Table
+	var err error
 	for i := 0; i < b.N; i++ {
-		t = expt.LargestModel(256, 2)
+		t, err = expt.LargestModel(256, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	logTable(b, t)
 }
 
 func BenchmarkTableIII(b *testing.B) {
 	var t *expt.Table
+	var err error
 	for i := 0; i < b.N; i++ {
-		t = expt.TableIII(24, 1024, 256)
+		t, err = expt.TableIII(24, 1024, 256)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	logTable(b, t)
 }
@@ -129,8 +141,12 @@ func BenchmarkFig10(b *testing.B) {
 	w := workbench(b)
 	b.ResetTimer()
 	var t *expt.Table
+	var err error
 	for i := 0; i < b.N; i++ {
-		t = expt.Fig10(w)
+		t, err = expt.Fig10(w)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	logTable(b, t)
 }
@@ -140,8 +156,12 @@ func BenchmarkTableIV(b *testing.B) {
 	opts.TrainSamples = 250
 	opts.TestSamples = 80
 	var t *expt.Table
+	var err error
 	for i := 0; i < b.N; i++ {
-		t = expt.TableIV(opts)
+		t, err = expt.TableIV(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	logTable(b, t)
 }
@@ -151,8 +171,12 @@ func BenchmarkFig11(b *testing.B) {
 	opts.TrainSamples = 250
 	opts.TestSamples = 80
 	var t *expt.Table
+	var err error
 	for i := 0; i < b.N; i++ {
-		t = expt.Fig11(opts)
+		t, err = expt.Fig11(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	logTable(b, t)
 }
@@ -171,8 +195,12 @@ func BenchmarkMispredictions(b *testing.B) {
 	w := workbench(b)
 	b.ResetTimer()
 	var t *expt.Table
+	var err error
 	for i := 0; i < b.N; i++ {
-		t = expt.Mispredictions(w)
+		t, err = expt.Mispredictions(w)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	logTable(b, t)
 }
@@ -181,8 +209,12 @@ func BenchmarkMispredHandling(b *testing.B) {
 	w := workbench(b)
 	b.ResetTimer()
 	var t *expt.Table
+	var err error
 	for i := 0; i < b.N; i++ {
-		t = expt.MispredHandling(w)
+		t, err = expt.MispredHandling(w)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	logTable(b, t)
 }
@@ -191,8 +223,12 @@ func BenchmarkOverhead(b *testing.B) {
 	w := workbench(b)
 	b.ResetTimer()
 	var t *expt.Table
+	var err error
 	for i := 0; i < b.N; i++ {
-		t = expt.Overhead(w)
+		t, err = expt.Overhead(w)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	logTable(b, t)
 }
@@ -205,7 +241,9 @@ func BenchmarkPilotInference(b *testing.B) {
 	ex := mb.Test[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w.Pilot.Resolve(ex)
+		if _, err := w.Pilot.Resolve(ex); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

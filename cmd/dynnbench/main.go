@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,15 +23,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1,table2,heuristic,largest,table3,fig7,fig8,fig9,fig10,table4,fig11,fig12,mispred,mispred-handling,overhead,parallel,all")
-		train   = flag.Int("train", 0, "pilot-training samples per model (default CI scale)")
-		test    = flag.Int("test", 0, "evaluation samples per model")
-		neurons = flag.Int("neurons", 0, "pilot hidden width")
-		epochs  = flag.Int("epochs", 0, "pilot training epochs")
-		batch   = flag.Int("batch", 0, "DyNN batch size")
-		seed    = flag.Uint64("seed", 42, "experiment seed")
-		workers = flag.Int("workers", 0, "epoch worker pool size for DyNN-Offload epochs (0 = serial, -1 = GOMAXPROCS)")
-		stats   = flag.String("stats", "", "write per-sample JSONL observability events to this file")
+		exp       = flag.String("exp", "all", "experiment: table1,table2,heuristic,largest,table3,fig7,fig8,fig9,fig10,table4,fig11,fig12,mispred,mispred-handling,overhead,parallel,all")
+		train     = flag.Int("train", 0, "pilot-training samples per model (default CI scale)")
+		test      = flag.Int("test", 0, "evaluation samples per model")
+		neurons   = flag.Int("neurons", 0, "pilot hidden width")
+		epochs    = flag.Int("epochs", 0, "pilot training epochs")
+		batch     = flag.Int("batch", 0, "DyNN batch size")
+		seed      = flag.Uint64("seed", 42, "experiment seed")
+		workers   = flag.Int("workers", 0, "epoch worker pool size for DyNN-Offload epochs (0 = serial, -1 = GOMAXPROCS)")
+		stats     = flag.String("stats", "", "write per-sample JSONL observability events to this file")
+		statsJSON = flag.String("statsjson", "", "write aggregate per-model RunStats JSON for the parallel experiment to this file")
 	)
 	flag.Parse()
 
@@ -67,13 +69,13 @@ func main() {
 		sink = obsv.NewJSONLSink(f)
 	}
 
-	if err := run(*exp, opts, sink); err != nil {
+	if err := run(*exp, opts, sink, *statsJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "dynnbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, opts expt.Options, sink obsv.Sink) error {
+func run(exp string, opts expt.Options, sink obsv.Sink, statsJSON string) error {
 	out := os.Stdout
 
 	// Experiments that need the shared workbench (trained pilot).
@@ -100,58 +102,81 @@ func run(exp string, opts expt.Options, sink obsv.Sink) error {
 			"mispred", "mispred-handling", "overhead"}
 	}
 	for _, name := range names {
-		var t []*expt.Table
+		var tab *expt.Table
+		var err error
 		switch name {
 		case "table1":
-			t = []*expt.Table{expt.TableI(opts.TrainSamples*4, opts.Seed)}
+			tab, err = expt.TableI(opts.TrainSamples*4, opts.Seed)
 		case "table2":
-			t = []*expt.Table{expt.TableII()}
+			tab = expt.TableII()
 		case "heuristic":
-			t = []*expt.Table{expt.HeuristicStudy(opts.TrainSamples*2, opts.Seed)}
+			tab = expt.HeuristicStudy(opts.TrainSamples*2, opts.Seed)
 		case "largest":
-			t = []*expt.Table{expt.LargestModel(0, 0)}
+			tab, err = expt.LargestModel(0, 0)
 		case "table3":
-			t = []*expt.Table{expt.TableIII(0, 0, 0)}
+			tab, err = expt.TableIII(0, 0, 0)
 		case "table4":
-			t = []*expt.Table{expt.TableIV(opts)}
+			tab, err = expt.TableIV(opts)
 		case "fig11":
-			t = []*expt.Table{expt.Fig11(opts)}
+			tab, err = expt.Fig11(opts)
 		default:
 			if !needsWB[name] {
 				return fmt.Errorf("unknown experiment %q", name)
 			}
-			w, err := getWB()
+			var w *expt.Workbench
+			w, err = getWB()
 			if err != nil {
 				return err
 			}
 			switch name {
 			case "fig7":
-				t = []*expt.Table{expt.Fig7(w)}
+				tab = expt.Fig7(w)
 			case "fig8":
-				t = []*expt.Table{expt.Fig8(w)}
+				tab = expt.Fig8(w)
 			case "fig9":
-				t = []*expt.Table{expt.Fig9(w)}
+				tab = expt.Fig9(w)
 			case "fig10":
-				t = []*expt.Table{expt.Fig10(w)}
+				tab, err = expt.Fig10(w)
 			case "fig12":
-				t = []*expt.Table{expt.Fig12(w)}
+				tab = expt.Fig12(w)
 			case "mispred":
-				t = []*expt.Table{expt.Mispredictions(w)}
+				tab, err = expt.Mispredictions(w)
 			case "mispred-handling":
-				t = []*expt.Table{expt.MispredHandling(w)}
+				tab, err = expt.MispredHandling(w)
 			case "overhead":
-				t = []*expt.Table{expt.Overhead(w)}
+				tab, err = expt.Overhead(w)
 			case "parallel":
 				n := opts.Workers
 				if n <= 1 {
 					n = runtime.GOMAXPROCS(0)
 				}
-				t = []*expt.Table{expt.ParallelSpeedup(w, n, sink)}
+				var stats []obsv.RunStats
+				tab, stats = expt.ParallelSpeedup(w, n, sink)
+				if statsJSON != "" {
+					if werr := writeStatsJSON(statsJSON, stats); werr != nil {
+						return werr
+					}
+					fmt.Fprintf(out, "wrote %d RunStats records to %s\n", len(stats), statsJSON)
+				}
 			}
 		}
-		for _, tab := range t {
-			tab.Fprint(out)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
 		}
+		tab.Fprint(out)
 	}
 	return nil
+}
+
+// writeStatsJSON persists the aggregate per-model RunStats of a benchmark run
+// as indented JSON (e.g. BENCH_PR2.json).
+func writeStatsJSON(path string, stats []obsv.RunStats) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(stats)
 }

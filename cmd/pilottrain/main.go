@@ -64,7 +64,10 @@ func main() {
 			var acc float64
 			var n int
 			for _, s := range sets {
-				a, _, _ := p.Evaluate(s.test)
+				a, _, _, err := p.Evaluate(s.test)
+				if err != nil {
+					fatal(err)
+				}
 				acc += a * float64(len(s.test))
 				n += len(s.test)
 			}
@@ -82,7 +85,10 @@ func main() {
 
 	fmt.Printf("\n%-12s %-10s %-10s %-12s\n", "model", "accuracy", "mispred", "infer (us)")
 	for _, s := range sets {
-		acc, mis, lat := p.Evaluate(s.test)
+		acc, mis, lat, err := p.Evaluate(s.test)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("%-12s %-10.3f %-10s %-12.1f\n",
 			s.name, acc, fmt.Sprintf("%d/%d", mis, len(s.test)), float64(lat.Nanoseconds())/1e3)
 	}

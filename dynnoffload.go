@@ -231,7 +231,10 @@ func (s *System) PilotAccuracy(samples []*dynn.Sample) (float64, int, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	acc, mis, _ := s.pilot.Evaluate(exs)
+	acc, mis, _, err := s.pilot.Evaluate(exs)
+	if err != nil {
+		return 0, 0, fmt.Errorf("dynnoffload: %w", err)
+	}
 	return acc, mis, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"dynnoffload/internal/dynn"
@@ -162,5 +163,33 @@ func TestOutputKeyStable(t *testing.T) {
 	c := outputKey([]float64{2.2, 3.9, 0})
 	if a == c {
 		t.Error("distinct outputs must have distinct keys")
+	}
+}
+
+// TestUntrainedPilotSentinel checks the sentinel-error layering of the
+// engine's pilot guard: an untrained (but non-nil) pilot fails with
+// ErrPilotNotTrained, and because that sentinel wraps pilot.ErrNotTrained,
+// errors.Is matches against either error family.
+func TestUntrainedPilotSentinel(t *testing.T) {
+	_, test, _, plat := testBench(t)
+	untrained := pilot.New(pilot.Config{Neurons: 8})
+	eng := NewEngine(DefaultConfig(plat), untrained)
+
+	_, err := eng.RunSample(test[0])
+	if !errors.Is(err, ErrPilotNotTrained) {
+		t.Errorf("RunSample err = %v, want ErrPilotNotTrained", err)
+	}
+	if !errors.Is(err, pilot.ErrNotTrained) {
+		t.Errorf("RunSample err = %v does not match pilot.ErrNotTrained", err)
+	}
+
+	_, err = eng.ParallelRunEpoch(test, EpochOptions{Workers: 4})
+	if !errors.Is(err, ErrPilotNotTrained) || !errors.Is(err, pilot.ErrNotTrained) {
+		t.Errorf("ParallelRunEpoch err = %v, want both not-trained sentinels", err)
+	}
+
+	_, err = eng.RunEpoch(test[:1])
+	if !errors.Is(err, ErrPilotNotTrained) {
+		t.Errorf("RunEpoch err = %v, want ErrPilotNotTrained", err)
 	}
 }

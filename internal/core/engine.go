@@ -20,8 +20,9 @@ import (
 // strings.
 var (
 	// ErrPilotNotTrained is returned when the runtime is asked to execute a
-	// sample without a trained pilot model.
-	ErrPilotNotTrained = errors.New("core: pilot not trained")
+	// sample without a trained pilot model. It wraps pilot.ErrNotTrained so
+	// errors.Is matches against either sentinel.
+	ErrPilotNotTrained = fmt.Errorf("core: pilot not trained: %w", pilot.ErrNotTrained)
 	// ErrUnknownPath is returned when a sample's path key does not resolve
 	// in its model context.
 	ErrUnknownPath = errors.New("core: unknown resolution path")
@@ -193,7 +194,13 @@ func (e *Engine) RunSample(ex *pilot.Example) (SampleResult, error) {
 		return res, ErrPilotNotTrained
 	}
 
-	resolution := e.Pilot.Resolve(ex)
+	resolution, err := e.Pilot.Resolve(ex)
+	if err != nil {
+		if errors.Is(err, pilot.ErrNotTrained) {
+			return res, ErrPilotNotTrained
+		}
+		return res, fmt.Errorf("core: resolve: %w", err)
+	}
 	res.PilotNS = resolution.InferNS
 	res.MappingNS = resolution.MapNS
 

@@ -3,7 +3,6 @@ package core
 import (
 	"runtime"
 	"sync"
-	"time"
 
 	"dynnoffload/internal/obsv"
 	"dynnoffload/internal/pilot"
@@ -45,7 +44,7 @@ const (
 // per sample.
 func (e *Engine) ParallelRunEpoch(examples []*pilot.Example, opts EpochOptions) (EpochReport, error) {
 	var rep EpochReport
-	if e.Pilot == nil {
+	if e.Pilot == nil || !e.Pilot.Trained() {
 		return rep, ErrPilotNotTrained
 	}
 	workers := opts.Workers
@@ -60,11 +59,13 @@ func (e *Engine) ParallelRunEpoch(examples []*pilot.Example, opts EpochOptions) 
 	}
 	rec := opts.Recorder
 
-	// Phase 1: concurrent pilot resolution.
+	// Phase 1: concurrent pilot resolution. Per-index errors are collected
+	// and the lowest-index one wins below, matching serial order.
 	resolutions := make([]pilot.Resolution, len(examples))
+	resolveErrs := make([]error, len(examples))
 	fanOut(len(examples), workers, func(i int) {
-		resolutions[i] = e.Pilot.Resolve(examples[i])
-		if rec != nil {
+		resolutions[i], resolveErrs[i] = e.Pilot.Resolve(examples[i])
+		if rec != nil && resolveErrs[i] == nil {
 			rec.ObservePhase(PhasePilot, resolutions[i].InferNS)
 			rec.ObservePhase(PhaseMapping, resolutions[i].MapNS)
 		}
@@ -77,6 +78,10 @@ func (e *Engine) ParallelRunEpoch(examples []*pilot.Example, opts EpochOptions) 
 	n := len(examples)
 	var firstErr error
 	for i, ex := range examples {
+		if err := resolveErrs[i]; err != nil {
+			n, firstErr = i, err
+			break
+		}
 		d, err := e.decide(ex, &resolutions[i])
 		if err != nil {
 			n, firstErr = i, err
@@ -98,11 +103,11 @@ func (e *Engine) ParallelRunEpoch(examples []*pilot.Example, opts EpochOptions) 
 			res.MappingNS = resolutions[i].MapNS
 			res.Mispredicted = decisions[i].mispredicted
 			res.CacheHit = decisions[i].cacheHit
-			simStart := time.Now()
+			simSW := obsv.StartTimer()
 			res.Breakdown = e.simulate(decisions[i])
 			res.Breakdown.OverheadNS += res.PilotNS + res.MappingNS
 			if rec != nil {
-				rec.ObservePhase(PhaseSimulate, time.Since(simStart).Nanoseconds())
+				rec.ObservePhase(PhaseSimulate, simSW.ElapsedNS())
 				rec.ObserveSample(i, res.Mispredicted, res.CacheHit, res.Breakdown.TotalNS())
 			}
 			results <- res

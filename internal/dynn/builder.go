@@ -28,11 +28,11 @@ func newBuilder(adam bool) *builder {
 func (b *builder) weight(name string, shape ...int) *tensor.Meta {
 	if w, ok := b.weights[name]; ok {
 		if len(w.Shape) != len(shape) {
-			panic(fmt.Sprintf("dynn: weight %q reused with rank %d, was %d", name, len(shape), len(w.Shape)))
+			panic(fmt.Sprintf("dynn: weight %q reused with rank %d, was %d", name, len(shape), len(w.Shape))) //dynnlint:ignore panicfree weight reuse with new shape is a model-definition bug; builders fail fast
 		}
 		for i, d := range shape {
 			if w.Shape[i] != d {
-				panic(fmt.Sprintf("dynn: weight %q reused with shape %v, was %v", name, shape, w.Shape))
+				panic(fmt.Sprintf("dynn: weight %q reused with shape %v, was %v", name, shape, w.Shape)) //dynnlint:ignore panicfree weight reuse with new shape is a model-definition bug; builders fail fast
 			}
 		}
 		return w
@@ -171,7 +171,7 @@ func (b *builder) embedding(prefix string, vocab, batch, seqLen, hidden int) (*t
 func (b *builder) conv(prefix string, x *tensor.Meta, outC, kernel int) (*tensor.Meta, []graph.Elem) {
 	shape := x.Shape
 	if len(shape) != 4 {
-		panic(fmt.Sprintf("dynn: conv input must be 4-D, got %v", shape))
+		panic(fmt.Sprintf("dynn: conv input must be 4-D, got %v", shape)) //dynnlint:ignore panicfree non-4D conv input is a model-definition bug; builders fail fast
 	}
 	batch, inC, h, w := shape[0], shape[1], shape[2], shape[3]
 	k := b.weight(prefix+".k", outC, inC, kernel, kernel)

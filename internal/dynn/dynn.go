@@ -231,7 +231,7 @@ func (b *base) Resolve(s *Sample) (*graph.Resolved, error) {
 // finish validates the static architecture and caches decision ranges.
 func (b *base) finish() {
 	if err := b.static.Validate(); err != nil {
-		panic(fmt.Sprintf("dynn: %s: %v", b.name, err))
+		panic(fmt.Sprintf("dynn: %s: %v", b.name, err)) //dynnlint:ignore panicfree invalid static graph is a model-definition bug caught when the zoo is built
 	}
 	b.ranges = b.static.DecisionRange()
 }

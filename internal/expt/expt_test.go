@@ -23,7 +23,10 @@ func TestTablePrinting(t *testing.T) {
 }
 
 func TestTableI(t *testing.T) {
-	tab := TableI(300, 1)
+	tab, err := TableI(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 5 {
 		t.Fatalf("rows = %d, want 5 buckets", len(tab.Rows))
 	}
@@ -58,7 +61,10 @@ func TestHeuristicStudyLowCorrelation(t *testing.T) {
 }
 
 func TestLargestModelShape(t *testing.T) {
-	tab := LargestModel(128, 1)
+	tab, err := LargestModel(128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 8 {
 		t.Fatalf("rows = %d, want 8 (4 systems x 2 sweeps)", len(tab.Rows))
 	}
@@ -71,7 +77,10 @@ func TestLargestModelShape(t *testing.T) {
 }
 
 func TestTableIIIOrdering(t *testing.T) {
-	tab := TableIII(24, 1024, 512)
+	tab, err := TableIII(24, 1024, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -113,12 +122,20 @@ func TestWorkbenchExperiments(t *testing.T) {
 		t.Skip("workbench construction is expensive")
 	}
 	wb := testWorkbench(t)
-	for name, run := range map[string]func(*Workbench) *Table{
-		"fig7": Fig7, "fig8": Fig8, "fig9": Fig9, "fig10": Fig10,
-		"fig12": Fig12, "mispred": Mispredictions,
+	infallible := func(f func(*Workbench) *Table) func(*Workbench) (*Table, error) {
+		return func(wb *Workbench) (*Table, error) { return f(wb), nil }
+	}
+	for name, run := range map[string]func(*Workbench) (*Table, error){
+		"fig7": infallible(Fig7), "fig8": infallible(Fig8),
+		"fig9": infallible(Fig9), "fig10": Fig10,
+		"fig12": infallible(Fig12), "mispred": Mispredictions,
 		"mispred-handling": MispredHandling, "overhead": Overhead,
 	} {
-		tab := run(wb)
+		tab, err := run(wb)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
 		if len(tab.Rows) == 0 {
 			t.Errorf("%s produced no rows", name)
 		}

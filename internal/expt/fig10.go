@@ -11,12 +11,12 @@ import (
 // Paper observations: near-proportional throughput to 4 GPUs, slower scaling
 // beyond (inter-node communication), while DyNN-Offload's overhead and
 // mis-prediction-induced on-demand migration stay constant with scale.
-func Fig10(wb *Workbench) *Table {
+func Fig10(wb *Workbench) (*Table, error) {
 	mb := wb.Bench("var-BERT")
 	eng := wb.Engine(mb)
 	rep, err := eng.RunEpoch(mb.Test)
 	if err != nil {
-		panic(fmt.Sprintf("fig10: %v", err))
+		return nil, fmt.Errorf("fig10: %w", err)
 	}
 	perIter := rep.Breakdown.TotalNS() / int64(rep.Samples)
 	overhead := (rep.PilotNS + rep.MappingNS) / int64(rep.Samples)
@@ -37,7 +37,7 @@ func Fig10(wb *Workbench) *Table {
 	cfg.Platform.NumGPUs = 4 // 4 GPUs per node; >4 crosses nodes
 	results, err := distributed.Scale(cfg, perIter, overhead, onDemand, []int{1, 2, 4, 8})
 	if err != nil {
-		panic(fmt.Sprintf("fig10: %v", err))
+		return nil, fmt.Errorf("fig10: %w", err)
 	}
 
 	t := &Table{
@@ -57,5 +57,5 @@ func Fig10(wb *Workbench) *Table {
 	}
 	t.Notes = append(t.Notes,
 		"paper: proportional scaling to 4 GPUs, slower beyond (inter-GPU communication); offload overhead constant at all scales")
-	return t
+	return t, nil
 }

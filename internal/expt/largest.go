@@ -23,14 +23,14 @@ type capacityProbe struct {
 	Tensors    int   // distinct tensors per iteration (DTR tracking load)
 }
 
-func probeVarBERT(layers, hidden, seqLen, batch int) capacityProbe {
+func probeVarBERT(layers, hidden, seqLen, batch int) (capacityProbe, error) {
 	m := dynn.NewVarBERT(dynn.VarBERTConfig{
 		Layers: layers, Hidden: hidden, SeqLen: seqLen, Batch: batch, Seed: 1,
 	})
 	// Longest path: decision 0 (full arm) at every site.
 	r, err := graph.Resolve(m.Static(), make([]int, m.Static().NumSites))
 	if err != nil {
-		panic(err)
+		return capacityProbe{}, fmt.Errorf("largest: %w", err)
 	}
 	it := graph.ExpandTraining(m.Registry(), r, m.WeightStates(), true)
 	cm := gpusim.NewCostModel(gpusim.A100Platform())
@@ -47,7 +47,7 @@ func probeVarBERT(layers, hidden, seqLen, batch int) capacityProbe {
 		Persistent: persistent,
 		MaxOpBytes: an.MaxSingleOpBytes(),
 		Tensors:    len(tr.Tensors),
-	}
+	}, nil
 }
 
 // feasible reports whether a probe can train under each system on plat.
@@ -70,12 +70,15 @@ func feasible(p capacityProbe, plat gpusim.Platform, system string) bool {
 
 // searchLargest binary-searches the largest size in [lo, hi] (by `build`
 // probing size) that remains feasible for the system.
-func searchLargest(lo, hi int, plat gpusim.Platform, system string, build func(size int) capacityProbe) (int, capacityProbe) {
+func searchLargest(lo, hi int, plat gpusim.Platform, system string, build func(size int) (capacityProbe, error)) (int, capacityProbe, error) {
 	bestSize := 0
 	var bestProbe capacityProbe
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		p := build(mid)
+		p, err := build(mid)
+		if err != nil {
+			return 0, capacityProbe{}, err
+		}
 		if feasible(p, plat, system) {
 			bestSize, bestProbe = mid, p
 			lo = mid + 1
@@ -83,14 +86,14 @@ func searchLargest(lo, hi int, plat gpusim.Platform, system string, build func(s
 			hi = mid - 1
 		}
 	}
-	return bestSize, bestProbe
+	return bestSize, bestProbe, nil
 }
 
 // LargestModel reproduces §VI-B: the largest trainable var-BERT per system
 // on a single A100-80GB, sweeping depth (layers at hidden=1024) and width
 // (hidden at 64 layers). The paper's headline: 192 → 1,500 layers (8×) deep,
 // 10 → 64 layers at hidden 8,192 wide (6.3×).
-func LargestModel(seqLen, batch int) *Table {
+func LargestModel(seqLen, batch int) (*Table, error) {
 	// The paper's capacity study is state-dominated (training state is 16
 	// bytes/param; activations are comparatively small at its batch size) —
 	// small batch and sequence put the probe in the same regime.
@@ -110,35 +113,41 @@ func LargestModel(seqLen, batch int) *Table {
 	type sweep struct {
 		name     string
 		lo, hi   int
-		build    func(size int) capacityProbe
+		build    func(size int) (capacityProbe, error)
 		describe func(size int) string
 	}
 	sweeps := []sweep{
 		{
 			name: "deep (hidden=1024)", lo: 1, hi: 3000,
-			build:    func(l int) capacityProbe { return probeVarBERT(l, 1024, seqLen, batch) },
+			build:    func(l int) (capacityProbe, error) { return probeVarBERT(l, 1024, seqLen, batch) },
 			describe: func(l int) string { return fmt.Sprintf("%d layers", l) },
 		},
 		{
 			name: "wide (hidden=8192)", lo: 1, hi: 256,
-			build:    func(l int) capacityProbe { return probeVarBERT(l, 8192, seqLen, batch) },
+			build:    func(l int) (capacityProbe, error) { return probeVarBERT(l, 8192, seqLen, batch) },
 			describe: func(l int) string { return fmt.Sprintf("%d layers", l) },
 		},
 	}
 	for _, sw := range sweeps {
 		memo := map[int]capacityProbe{}
 		rawBuild := sw.build
-		sw.build = func(size int) capacityProbe {
+		sw.build = func(size int) (capacityProbe, error) {
 			if p, ok := memo[size]; ok {
-				return p
+				return p, nil
 			}
-			p := rawBuild(size)
+			p, err := rawBuild(size)
+			if err != nil {
+				return capacityProbe{}, err
+			}
 			memo[size] = p
-			return p
+			return p, nil
 		}
 		baselineSize := 0
 		for _, system := range []string{"pytorch", "uvm", "dtr", "dynn-offload"} {
-			size, probe := searchLargest(sw.lo, sw.hi, plat, system, sw.build)
+			size, probe, err := searchLargest(sw.lo, sw.hi, plat, system, sw.build)
+			if err != nil {
+				return nil, err
+			}
 			if system == "pytorch" {
 				baselineSize = size
 			}
@@ -156,5 +165,5 @@ func LargestModel(seqLen, batch int) *Table {
 	}
 	t.Notes = append(t.Notes,
 		"paper: DyNN-Offload trains 8x deeper and 6.3x wider var-BERT than PyTorch; UVM capped at 2x GPU; DTR bounded by non-evictable state")
-	return t
+	return t, nil
 }

@@ -12,7 +12,7 @@ import (
 // model on 3,000 testing samples at 512 neurons, and trains without
 // var-LSTM/var-BERT samples to show generalizability; we evaluate both the
 // standard and the leave-out setting and report the gap honestly.
-func Mispredictions(wb *Workbench) *Table {
+func Mispredictions(wb *Workbench) (*Table, error) {
 	t := &Table{
 		Title:  "§VI-E — pilot mis-predictions per model (held-out samples)",
 		Header: []string{"model", "mispred", "samples", "accuracy"},
@@ -21,7 +21,10 @@ func Mispredictions(wb *Workbench) *Table {
 		if !mb.Entry.Dynamic {
 			continue
 		}
-		acc, mis, _ := wb.Pilot.Evaluate(mb.Test)
+		acc, mis, _, err := wb.Pilot.Evaluate(mb.Test)
+		if err != nil {
+			return nil, fmt.Errorf("mispredictions: %s: %w", mb.Entry.Name, err)
+		}
 		t.Rows = append(t.Rows, []string{
 			mb.Entry.Name, fmt.Sprintf("%d", mis), fmt.Sprintf("%d", len(mb.Test)), fmt.Sprintf("%.3f", acc),
 		})
@@ -40,7 +43,10 @@ func Mispredictions(wb *Workbench) *Table {
 	p.Train(train)
 	for _, name := range []string{"var-LSTM", "var-BERT"} {
 		mb := wb.Bench(name)
-		acc, mis, _ := p.Evaluate(mb.Test)
+		acc, mis, _, err := p.Evaluate(mb.Test)
+		if err != nil {
+			return nil, fmt.Errorf("mispredictions: %s leave-out: %w", name, err)
+		}
 		t.Rows = append(t.Rows, []string{
 			name + " (leave-out)", fmt.Sprintf("%d", mis), fmt.Sprintf("%d", len(mb.Test)), fmt.Sprintf("%.3f", acc),
 		})
@@ -48,14 +54,14 @@ func Mispredictions(wb *Workbench) *Table {
 	t.Notes = append(t.Notes,
 		"paper: <60 mis-predictions per model at 3,000 samples (512 neurons)",
 		"leave-out rows: pilot trained without that model's samples — zero-shot transfer to unseen architectures is a known gap of this reproduction (see EXPERIMENTS.md)")
-	return t
+	return t, nil
 }
 
 // MispredHandling reproduces §VI-H: mis-prediction counts with and without
 // the runtime's mis-prediction cache, and the time impact of the on-demand
 // fallback. Paper: 167/109/182 → 59/42/102 for Tree-CNN / Tree-LSTM /
 // var-BERT on 3,000 samples; time impact < 1%.
-func MispredHandling(wb *Workbench) *Table {
+func MispredHandling(wb *Workbench) (*Table, error) {
 	t := &Table{
 		Title:  "§VI-H — mis-predictions without/with runtime handling",
 		Header: []string{"model", "without", "with", "reduction", "time impact"},
@@ -68,13 +74,13 @@ func MispredHandling(wb *Workbench) *Table {
 		engOff := core.NewEngine(cfgOff, wb.Pilot)
 		repOff, err := engOff.RunEpoch(mb.Test)
 		if err != nil {
-			panic(fmt.Sprintf("mispred-handling: %s: %v", name, err))
+			return nil, fmt.Errorf("mispred-handling: %s: %w", name, err)
 		}
 
 		engOn := core.NewEngine(core.DefaultConfig(mb.Platform), wb.Pilot)
 		repOn, err := engOn.RunEpoch(mb.Test)
 		if err != nil {
-			panic(fmt.Sprintf("mispred-handling: %s: %v", name, err))
+			return nil, fmt.Errorf("mispred-handling: %s: %w", name, err)
 		}
 
 		// Time impact of mis-predictions: compare against an oracle epoch
@@ -100,13 +106,13 @@ func MispredHandling(wb *Workbench) *Table {
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d samples per model; paper (3,000 samples): 167/109/182 -> 59/42/102, time impact <1%%", wb.Opts.TestSamples))
-	return t
+	return t, nil
 }
 
 // Overhead reproduces the §VI-C overhead analysis: pilot inference time and
 // output-mapping time per training sample. Paper: ~30 us inference,
 // 10–15 us mapping, vs iteration times of O(100 ms) for large DyNNs.
-func Overhead(wb *Workbench) *Table {
+func Overhead(wb *Workbench) (*Table, error) {
 	t := &Table{
 		Title:  "§VI-C — per-sample DyNN-Offload overheads",
 		Header: []string{"model", "pilot infer us", "mapping us", "iteration ms", "overhead share"},
@@ -118,7 +124,7 @@ func Overhead(wb *Workbench) *Table {
 		eng := wb.Engine(mb)
 		rep, err := eng.RunEpoch(mb.Test)
 		if err != nil {
-			panic(fmt.Sprintf("overhead: %s: %v", mb.Entry.Name, err))
+			return nil, fmt.Errorf("overhead: %s: %w", mb.Entry.Name, err)
 		}
 		n := int64(rep.Samples)
 		iter := rep.Breakdown.TotalNS() / n
@@ -133,5 +139,5 @@ func Overhead(wb *Workbench) *Table {
 		})
 	}
 	t.Notes = append(t.Notes, "paper: ~30 us inference + 10-15 us mapping, negligible vs iteration time")
-	return t
+	return t, nil
 }

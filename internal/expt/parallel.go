@@ -14,13 +14,16 @@ import (
 // vs N workers, with a verification column asserting that epoch aggregates
 // (virtual time, traffic, mis-predictions, cache hits) are identical — the
 // determinism contract of core.ParallelRunEpoch. An optional JSONL sink
-// receives per-sample events for the N-worker runs.
-func ParallelSpeedup(wb *Workbench, workers int, sink obsv.Sink) *Table {
+// receives per-sample events for the N-worker runs. The returned RunStats
+// slice carries one aggregate record per model (the N-worker run), for
+// machine-readable benchmark output.
+func ParallelSpeedup(wb *Workbench, workers int, sink obsv.Sink) (*Table, []obsv.RunStats) {
 	tab := &Table{
 		Title:  fmt.Sprintf("Parallel epoch runtime: %d workers vs serial", workers),
 		Header: []string{"model", "samples", "serial-ms", "par1-ms", "parN-ms", "speedup", "samples/s", "mispred%", "cache-hit%", "aggregates"},
 	}
 	var worst float64
+	var allStats []obsv.RunStats
 	for _, mb := range wb.Models {
 		if !mb.Entry.Dynamic {
 			continue
@@ -54,6 +57,7 @@ func ParallelSpeedup(wb *Workbench, workers int, sink obsv.Sink) *Table {
 			continue
 		}
 		stats := rec.Finish()
+		allStats = append(allStats, stats)
 
 		match := "identical"
 		for _, rep := range []core.EpochReport{par1Rep, parNRep} {
@@ -95,5 +99,5 @@ func ParallelSpeedup(wb *Workbench, workers int, sink obsv.Sink) *Table {
 		tab.Notes = append(tab.Notes,
 			"single-CPU host: goroutines time-slice one core, so ~1.0x wall-clock is expected; determinism (identical aggregates) is the meaningful check here")
 	}
-	return tab
+	return tab, allStats
 }

@@ -12,7 +12,7 @@ import (
 // control-flow vector of the first Tree-LSTM training sample and every other
 // sample, demonstrating that profiling a few iterations cannot predict the
 // rest (§II-B). The paper uses 6,000 samples; numSamples scales that.
-func TableI(numSamples int, seed uint64) *Table {
+func TableI(numSamples int, seed uint64) (*Table, error) {
 	if numSamples <= 1 {
 		numSamples = 6000
 	}
@@ -22,7 +22,7 @@ func TableI(numSamples int, seed uint64) *Table {
 	static := m.Static()
 	baseline, err := m.Resolve(samples[0])
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("table1: %w", err)
 	}
 	baseBits := baseline.ControlBits(static)
 
@@ -31,7 +31,7 @@ func TableI(numSamples int, seed uint64) *Table {
 	for _, s := range samples[1:] {
 		r, err := m.Resolve(s)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("table1: %w", err)
 		}
 		jd := metrics.Jaccard(baseBits, r.ControlBits(static))
 		jds = append(jds, jd)
@@ -56,7 +56,7 @@ func TableI(numSamples int, seed uint64) *Table {
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("mean JD=%.3f std=%.3f p50=%.3f p90=%.3f over %d samples — wide divergence defeats PGO prefetch",
 			sum.Mean, sum.Std, sum.P50, sum.P90, sum.N))
-	return t
+	return t, nil
 }
 
 // TableII reproduces the workload inventory (paper Table II).

@@ -17,7 +17,7 @@ import (
 // system trains within a 200% runtime-overhead budget relative to ideal
 // in-memory compute. Paper: UVM 1.17x, DTR 1.7x, DyNN-Offload 3.6x vs
 // unmodified PyTorch.
-func TableIII(layers, hidden, seqLen int) *Table {
+func TableIII(layers, hidden, seqLen int) (*Table, error) {
 	if layers == 0 {
 		layers = 48
 	}
@@ -35,16 +35,16 @@ func TableIII(layers, hidden, seqLen int) *Table {
 		ideal int64 // pure compute ns
 	}
 	probes := map[int]probe{}
-	buildProbe := func(batch int) probe {
+	buildProbe := func(batch int) (probe, error) {
 		if p, ok := probes[batch]; ok {
-			return p
+			return p, nil
 		}
 		m := dynn.NewVarBERT(dynn.VarBERTConfig{
 			Layers: layers, Hidden: hidden, SeqLen: seqLen, Batch: batch, Seed: 1,
 		})
 		r, err := graph.Resolve(m.Static(), make([]int, m.Static().NumSites))
 		if err != nil {
-			panic(err)
+			return probe{}, fmt.Errorf("table3: batch %d: %w", batch, err)
 		}
 		it := graph.ExpandTraining(m.Registry(), r, m.WeightStates(), true)
 		cm := gpusim.NewCostModel(plat)
@@ -52,11 +52,14 @@ func TableIII(layers, hidden, seqLen int) *Table {
 		an := sentinel.NewAnalysis(tr, cm)
 		p := probe{an: an, ideal: an.TotalComputeNS()}
 		probes[batch] = p
-		return p
+		return p, nil
 	}
 
 	timeFor := func(system string, batch int) (int64, error) {
-		p := buildProbe(batch)
+		p, err := buildProbe(batch)
+		if err != nil {
+			return 0, err
+		}
 		switch system {
 		case "pytorch":
 			bd, err := baselines.PyTorch(p.an, plat)
@@ -83,13 +86,20 @@ func TableIII(layers, hidden, seqLen int) *Table {
 		return 0, fmt.Errorf("unknown system %q", system)
 	}
 
-	maxBatch := func(system string) int {
+	// maxBatch binary-searches the largest feasible batch. Probe-construction
+	// errors (a broken model graph) abort the table; capacity errors from the
+	// systems under test just mark that batch infeasible.
+	maxBatch := func(system string) (int, error) {
 		best := 0
 		lo, hi := 1, 512
 		for lo <= hi {
 			mid := (lo + hi) / 2
+			p, err := buildProbe(mid)
+			if err != nil {
+				return 0, err
+			}
 			t, err := timeFor(system, mid)
-			ok := err == nil && float64(t) <= float64(buildProbe(mid).ideal)*(1+maxOverhead)
+			ok := err == nil && float64(t) <= float64(p.ideal)*(1+maxOverhead)
 			if ok {
 				best = mid
 				lo = mid + 1
@@ -97,7 +107,7 @@ func TableIII(layers, hidden, seqLen int) *Table {
 				hi = mid - 1
 			}
 		}
-		return best
+		return best, nil
 	}
 
 	t := &Table{
@@ -106,7 +116,10 @@ func TableIII(layers, hidden, seqLen int) *Table {
 	}
 	base := 0
 	for _, system := range []string{"pytorch", "uvm", "dtr", "dynn-offload"} {
-		b := maxBatch(system)
+		b, err := maxBatch(system)
+		if err != nil {
+			return nil, err
+		}
 		if system == "pytorch" {
 			base = b
 		}
@@ -118,5 +131,5 @@ func TableIII(layers, hidden, seqLen int) *Table {
 	}
 	t.Notes = append(t.Notes, "paper: UVM 1.17x, DTR 1.7x, DyNN-Offload 3.6x",
 		fmt.Sprintf("model: var-BERT %d layers, hidden %d, seq %d", layers, hidden, seqLen))
-	return t
+	return t, nil
 }

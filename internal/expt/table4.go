@@ -36,10 +36,10 @@ func pilotDataset(opts Options, fc pilot.FeatureConfig, exclude map[string]bool)
 // and inference time as the per-layer neuron count grows. Paper: accuracy
 // jumps +0.12 going 256→512, then flattens while inference time keeps
 // doubling — 512 is the knee.
-func TableIV(opts Options) *Table {
+func TableIV(opts Options) (*Table, error) {
 	train, test, err := pilotDataset(opts, pilot.FeatureConfig{}, nil)
 	if err != nil {
-		panic(fmt.Sprintf("table4: %v", err))
+		return nil, fmt.Errorf("table4: %w", err)
 	}
 	t := &Table{
 		Title:  "Table IV — pilot accuracy and inference time vs MLP width",
@@ -49,7 +49,10 @@ func TableIV(opts Options) *Table {
 	for _, n := range []int{128, 256, 512, 1024} {
 		p := pilot.New(pilot.Config{Neurons: n, Epochs: opts.Epochs, Seed: opts.Seed})
 		res := p.Train(train)
-		acc, mis, lat := p.Evaluate(test)
+		acc, mis, lat, err := p.Evaluate(test)
+		if err != nil {
+			return nil, fmt.Errorf("table4: %w", err)
+		}
 		delta := ""
 		if prevAcc > 0 {
 			delta = fmt.Sprintf(" (%+.2f)", acc-prevAcc)
@@ -67,14 +70,14 @@ func TableIV(opts Options) *Table {
 	t.Notes = append(t.Notes,
 		"paper: accuracy +0.12 at 256->512 then flattens; inference time ~2x per doubling; 512 chosen",
 		"inference here is Go float64 on CPU; the paper's 30 us is CUDA-free C++ — compare shape, not absolute")
-	return t
+	return t, nil
 }
 
 // Fig11 reproduces the representation study (Fig 11): pilot accuracy with
 // the idiom-based AFM vs the global-operator-ID representation at equal
 // width. Paper: idiom wins by >=19% accuracy at the same neuron count; the
 // ID representation needs orders of magnitude more neurons for parity.
-func Fig11(opts Options) *Table {
+func Fig11(opts Options) (*Table, error) {
 	t := &Table{
 		Title:  "Fig 11 — idiom-based vs global-ID architecture representation",
 		Header: []string{"neurons", "idiom acc", "global-id acc", "gap", "idiom feats", "id feats"},
@@ -91,13 +94,16 @@ func Fig11(opts Options) *Table {
 	for i := range runs {
 		train, test, err := pilotDataset(opts, runs[i].fc, nil)
 		if err != nil {
-			panic(fmt.Sprintf("fig11: %v", err))
+			return nil, fmt.Errorf("fig11: %w", err)
 		}
 		for _, n := range widths {
 			cfg := pilot.Config{Neurons: n, Epochs: opts.Epochs, Seed: opts.Seed, Features: runs[i].fc}
 			p := pilot.New(cfg)
 			p.Train(train)
-			acc, _, _ := p.Evaluate(test)
+			acc, _, _, err := p.Evaluate(test)
+			if err != nil {
+				return nil, fmt.Errorf("fig11: %w", err)
+			}
 			runs[i].accs[n] = acc
 		}
 	}
@@ -114,5 +120,5 @@ func Fig11(opts Options) *Table {
 		})
 	}
 	t.Notes = append(t.Notes, "paper: idiom representation leads by >=19% accuracy at equal model size")
-	return t
+	return t, nil
 }

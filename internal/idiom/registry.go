@@ -34,7 +34,7 @@ func (r *Registry) Register(k Kernel) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.kernels[k.Name]; dup {
-		panic(fmt.Sprintf("idiom: duplicate operator %q", k.Name))
+		panic(fmt.Sprintf("idiom: duplicate operator %q", k.Name)) //dynnlint:ignore panicfree duplicate registration is a programmer error surfaced at package init
 	}
 	counts := Analyze(k)
 	var sig Signature
@@ -55,10 +55,10 @@ func (r *Registry) Alias(name, existing string) {
 	defer r.mu.Unlock()
 	k, ok := r.kernels[existing]
 	if !ok {
-		panic(fmt.Sprintf("idiom: alias target %q not registered", existing))
+		panic(fmt.Sprintf("idiom: alias target %q not registered", existing)) //dynnlint:ignore panicfree bad alias target is a programmer error surfaced at package init
 	}
 	if _, dup := r.kernels[name]; dup {
-		panic(fmt.Sprintf("idiom: duplicate operator %q", name))
+		panic(fmt.Sprintf("idiom: duplicate operator %q", name)) //dynnlint:ignore panicfree duplicate registration is a programmer error surfaced at package init
 	}
 	r.kernels[name] = k
 	r.sigs[name] = r.sigs[existing]

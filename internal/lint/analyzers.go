@@ -1,0 +1,24 @@
+package lint
+
+// All returns the full dynnlint analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Lockcheck, Floatcmp, Errdiscipline, Panicfree}
+}
+
+// ByName returns the subset of All() named in names (nil names = all).
+func ByName(names []string) []*Analyzer {
+	if len(names) == 0 {
+		return All()
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []*Analyzer
+	for _, an := range All() {
+		if want[an.Name] {
+			out = append(out, an)
+		}
+	}
+	return out
+}

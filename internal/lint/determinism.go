@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterministicPackages are the packages whose results feed the bit-identical
+// epoch-aggregate contract (core.ParallelRunEpoch) and the paper's
+// pilot-vs-profiling comparison: any run-to-run variance here invalidates the
+// replay guarantee.
+var DeterministicPackages = []string{
+	"dynnoffload/internal/core",
+	"dynnoffload/internal/gpusim",
+	"dynnoffload/internal/sentinel",
+	"dynnoffload/internal/metrics",
+	"dynnoffload/internal/pilot",
+}
+
+func inDeterministicScope(path string) bool {
+	for _, p := range DeterministicPackages {
+		if pkgPathHasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Determinism flags nondeterminism sources inside the deterministic
+// packages: map-range loops that accumulate or append into variables
+// declared outside the loop (iteration order is randomized), direct
+// wall-clock reads (time.Now / time.Since — timing belongs in internal/obsv
+// recorders, which are observability-only), and calls to math/rand's global,
+// auto-seeded source.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid order-dependent map iteration, wall-clock reads, and unseeded randomness in deterministic packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !inDeterministicScope(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, v)
+			case *ast.CallExpr:
+				checkClockAndRand(pass, v)
+			}
+			return true
+		})
+	}
+}
+
+// checkClockAndRand flags wall-clock and global-RNG calls.
+func checkClockAndRand(pass *Pass, call *ast.CallExpr) {
+	if isPkgFunc(pass.Info, call, "time", "Now", "Since", "Until") {
+		pass.Report(call.Pos(), "wall-clock read (%s) in deterministic package; route timing through internal/obsv",
+			calleeFunc(pass.Info, call).Name())
+		return
+	}
+	for _, pkg := range []string{"math/rand", "math/rand/v2"} {
+		f := calleeFunc(pass.Info, call)
+		if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkg {
+			continue
+		}
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			continue // methods on an explicitly-seeded *rand.Rand are fine
+		}
+		if f.Name() == "New" || f.Name() == "NewSource" || f.Name() == "NewChaCha8" || f.Name() == "NewPCG" {
+			continue // constructing a seeded source
+		}
+		pass.Report(call.Pos(), "call to %s.%s uses the global auto-seeded RNG; use a seeded source (internal/mathx RNG)",
+			pkg, f.Name())
+	}
+}
+
+// checkMapRange flags statements inside a range-over-map body that fold the
+// (randomly ordered) iteration into state declared outside the loop. Writes
+// keyed by the loop variables (m2[k] = v) are order-independent and pass.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	loopVars := rangeVars(pass.Info, rs)
+	outside := func(e ast.Expr) *ast.Ident {
+		id := rootIdent(e)
+		if id == nil {
+			return nil
+		}
+		obj := objectOf(pass.Info, id)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return nil
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+			return nil // declared by or inside the loop
+		}
+		return id
+	}
+	keyedByLoopVar := func(e ast.Expr) bool {
+		idx, ok := unparen(e).(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		found := false
+		ast.Inspect(idx.Index, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && loopVars[objectOf(pass.Info, id)] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				id := outside(lhs)
+				if id == nil || id.Name == "_" || keyedByLoopVar(lhs) {
+					continue
+				}
+				what := "assigns to"
+				if st.Tok != token.ASSIGN {
+					what = "accumulates into"
+				} else if len(st.Rhs) == 1 {
+					if call, ok := unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+						if fid, ok := unparen(call.Fun).(*ast.Ident); ok && fid.Name == "append" {
+							what = "appends into"
+						}
+					}
+				}
+				pass.Report(st.Pos(), "map-range body %s %q declared outside the loop; iteration order is random — sort the keys first", what, id.Name)
+			}
+		case *ast.IncDecStmt:
+			if id := outside(st.X); id != nil && !keyedByLoopVar(st.X) {
+				pass.Report(st.Pos(), "map-range body accumulates into %q declared outside the loop; iteration order is random — sort the keys first", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// rangeVars collects the loop's key/value variable objects.
+func rangeVars(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id != nil {
+			if obj := objectOf(info, id); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}

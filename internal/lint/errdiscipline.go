@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Errdiscipline flags error handling that breaks under wrapping: comparing
+// error values with == / != (other than nil checks) and matching on
+// err.Error() text. The runtime's sentinel family (core.ErrPilotNotTrained,
+// ErrUnknownPath, ErrCapacityExceeded, ...) is wrapped with %w at every
+// layer, so only errors.Is / errors.As see through the chain.
+var Errdiscipline = &Analyzer{
+	Name: "errdiscipline",
+	Doc:  "forbid ==/!= on errors and string matching on err.Error(); use errors.Is/errors.As",
+	Run:  runErrdiscipline,
+}
+
+// stringsMatchFuncs are the strings-package predicates that turn err.Error()
+// into fragile text matching.
+var stringsMatchFuncs = []string{
+	"Contains", "HasPrefix", "HasSuffix", "EqualFold", "Index", "LastIndex", "Count",
+}
+
+func runErrdiscipline(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				if v.Op != token.EQL && v.Op != token.NEQ {
+					return true
+				}
+				x, y := unparen(v.X), unparen(v.Y)
+				if isErrorTextCall(pass, x) || isErrorTextCall(pass, y) {
+					pass.Report(v.OpPos, "comparing err.Error() text; match with errors.Is against a typed sentinel")
+					return true
+				}
+				if isErrorExpr(pass.Info, x) && isErrorExpr(pass.Info, y) &&
+					!isNil(pass.Info, x) && !isNil(pass.Info, y) {
+					pass.Report(v.OpPos, "error compared with %s; wrapped sentinels need errors.Is", v.Op)
+				}
+			case *ast.CallExpr:
+				if !isPkgFunc(pass.Info, v, "strings", stringsMatchFuncs...) {
+					return true
+				}
+				for _, arg := range v.Args {
+					if isErrorTextCall(pass, arg) {
+						pass.Report(v.Pos(), "string-matching err.Error(); match with errors.Is/errors.As instead")
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isErrorTextCall reports whether e is a call of Error() on an error value.
+func isErrorTextCall(pass *Pass, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	return isErrorExpr(pass.Info, sel.X)
+}

@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Floatcmp flags == / != between floating-point operands in the simulator
+// and metrics packages: exact bit comparison silently diverges under
+// reassociation or a different math library, which is how replay-style
+// simulators drift. Comparison against the constant 0 is exempt — zero is
+// bit-exact and the conventional "unset" sentinel for config fields.
+var Floatcmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid exact float equality in simulator/metrics code (compare with a tolerance)",
+	Run:  runFloatcmp,
+}
+
+func runFloatcmp(pass *Pass) {
+	if !inDeterministicScope(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := pass.Info.TypeOf(be.X), pass.Info.TypeOf(be.Y)
+			if tx == nil || ty == nil || (!isFloat(tx) && !isFloat(ty)) {
+				return true
+			}
+			if isZeroConst(pass.Info, be.X) || isZeroConst(pass.Info, be.Y) {
+				return true
+			}
+			pass.Report(be.OpPos, "exact float comparison (%s); use a tolerance (math.Abs(a-b) < eps)", be.Op)
+			return true
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Lockcheck flags by-value copies of types that contain synchronization
+// state: sync.Mutex / sync.RWMutex / sync.WaitGroup / sync.Once / sync.Cond /
+// sync.Map / sync.Pool or any sync/atomic value type, directly or through
+// nested struct/array fields. A copied lock guards nothing — the sharded
+// mis-prediction cache stripes are exactly this shape.
+var Lockcheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "forbid by-value receivers, params, assignments, and range values of lock-bearing structs",
+	Run:  runLockcheck,
+}
+
+var syncTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+	"Cond": true, "Map": true, "Pool": true,
+}
+
+var atomicTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// hasLock reports whether t holds synchronization state by value.
+func hasLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if pkg := obj.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync":
+				if syncTypes[obj.Name()] {
+					return true
+				}
+			case "sync/atomic":
+				if atomicTypes[obj.Name()] {
+					return true
+				}
+			}
+		}
+		return hasLock(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return hasLock(u.Elem(), seen)
+	}
+	return false
+}
+
+func lockByValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return hasLock(t, map[types.Type]bool{})
+}
+
+func runLockcheck(pass *Pass) {
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.Info.TypeOf(field.Type)
+			if lockByValue(t) {
+				pass.Report(field.Pos(), "%s passes %s by value; a copied lock guards nothing — use a pointer", what, t)
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(v.Recv, "receiver")
+				checkFieldList(v.Type.Params, "parameter")
+			case *ast.FuncLit:
+				checkFieldList(v.Type.Params, "parameter")
+			case *ast.AssignStmt:
+				for i, rhs := range v.Rhs {
+					if len(v.Lhs) == len(v.Rhs) {
+						if id, ok := v.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					if !copiesExistingValue(rhs) {
+						continue
+					}
+					if t := pass.Info.TypeOf(rhs); lockByValue(t) {
+						pass.Report(v.Pos(), "assignment copies lock-bearing value of type %s; use a pointer", t)
+					}
+				}
+			case *ast.RangeStmt:
+				if v.Value != nil {
+					if t := pass.Info.TypeOf(v.Value); lockByValue(t) {
+						pass.Report(v.Value.Pos(), "range copies lock-bearing value of type %s per iteration; range by index instead", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// copiesExistingValue reports whether e evaluates to an already-stored value
+// (so assigning it copies), as opposed to a fresh composite literal or a call
+// result the callee handed over.
+func copiesExistingValue(e ast.Expr) bool {
+	switch unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Panicfree flags panic() in library packages: a panicking library turns a
+// per-sample problem into a process kill for every in-flight epoch worker.
+// Libraries return errors; panics are reserved for init-time registration
+// (func init) and explicit Must* wrappers. Package main is exempt.
+var Panicfree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "forbid panic() in library code outside init and Must* helpers",
+	Run:  runPanicfree,
+}
+
+func runPanicfree(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if panicAllowed(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				pass.Report(call.Pos(), "panic in library function %s; return an error (panics are for init and Must* only)", fd.Name.Name)
+				return true
+			})
+		}
+	}
+}
+
+// panicAllowed reports whether a function may panic by convention: package
+// init and Must*-named helpers (including their methods).
+func panicAllowed(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil && fd.Name.Name == "init" {
+		return true
+	}
+	return strings.HasPrefix(fd.Name.Name, "Must")
+}

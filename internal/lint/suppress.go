@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//dynnlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed at the end of the offending line or on the line directly above it.
+const ignorePrefix = "//dynnlint:ignore"
+
+type directive struct {
+	analyzers map[string]bool
+	line      int
+	file      string
+}
+
+type suppressions struct {
+	// byFileLine maps file -> line -> directives active on that line.
+	byFileLine map[string]map[int][]directive
+	malformed  []Finding
+}
+
+// collectDirectives scans the package's comments for ignore directives and
+// validates them: the analyzer list must name known analyzers and the reason
+// must be non-empty. Violations become unsuppressable "dynnlint" findings.
+func collectDirectives(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) *suppressions {
+	known := map[string]bool{}
+	for _, an := range analyzers {
+		known[an.Name] = true
+	}
+	s := &suppressions{byFileLine: map[string]map[int][]directive{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Finding{
+						Analyzer: "dynnlint",
+						Pos:      pos,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed ignore directive: want //dynnlint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				d := directive{analyzers: map[string]bool{}, line: pos.Line, file: pos.Filename}
+				bad := false
+				for _, name := range strings.Split(fields[0], ",") {
+					if !known[name] {
+						s.malformed = append(s.malformed, Finding{
+							Analyzer: "dynnlint",
+							Pos:      pos,
+							File:     pos.Filename,
+							Line:     pos.Line,
+							Col:      pos.Column,
+							Message:  "ignore directive names unknown analyzer " + strconv.Quote(name),
+						})
+						bad = true
+						continue
+					}
+					d.analyzers[name] = true
+				}
+				if bad {
+					continue
+				}
+				lines := s.byFileLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]directive{}
+					s.byFileLine[pos.Filename] = lines
+				}
+				// A directive covers its own line (trailing comment) and the
+				// next line (comment directly above the code).
+				lines[pos.Line] = append(lines[pos.Line], d)
+				lines[pos.Line+1] = append(lines[pos.Line+1], d)
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) suppresses(f Finding) bool {
+	for _, d := range s.byFileLine[f.File][f.Line] {
+		if d.analyzers[f.Analyzer] {
+			return true
+		}
+	}
+	return false
+}

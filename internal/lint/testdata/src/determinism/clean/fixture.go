@@ -1,0 +1,41 @@
+// Package fixture shows the deterministic counterparts the analyzer must
+// stay silent on: keyed map writes, loop-local state, and seeded RNGs.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Invert writes keyed by the loop variables — order-independent.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Local keeps all mutation on variables declared inside the loop body.
+func Local(m map[string]int) {
+	for _, v := range m {
+		doubled := v * 2
+		_ = doubled
+	}
+}
+
+// SortedSum ranges a slice (not a map), after sorting.
+func SortedSum(xs []float64) float64 {
+	sort.Float64s(xs)
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Draw uses an explicitly seeded source — reproducible.
+func Draw(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

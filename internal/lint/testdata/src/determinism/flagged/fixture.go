@@ -1,0 +1,47 @@
+// Package fixture seeds every determinism violation class: map-range
+// accumulation, map-range append, wall-clock reads, and the global RNG.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sum folds map values in iteration order — the aggregate depends on the
+// randomized range order when summation overflows or feeds floats.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Keys appends in iteration order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Count increments an outer counter from a map range.
+func Count(m map[int]bool) int {
+	n := 0
+	for k := range m {
+		if m[k] {
+			n++
+		}
+	}
+	return n
+}
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Age reads the wall clock through time.Since.
+func Age(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// Jitter draws from the global auto-seeded RNG.
+func Jitter() float64 { return rand.Float64() }

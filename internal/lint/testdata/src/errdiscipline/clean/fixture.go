@@ -1,0 +1,19 @@
+// Package fixture handles errors with errors.Is/As and nil checks — nothing
+// for errdiscipline to report.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBoom = errors.New("boom")
+
+// IsBoom sees through wrapping.
+func IsBoom(err error) bool { return errors.Is(err, errBoom) }
+
+// Happened nil-checks — exempt.
+func Happened(err error) bool { return err != nil }
+
+// Wrap rewraps with %w so errors.Is keeps working downstream.
+func Wrap(err error) error { return fmt.Errorf("fixture: %w", err) }

@@ -1,0 +1,25 @@
+// Package fixture seeds every errdiscipline violation class: text equality,
+// strings-package matching on err.Error(), and ==/!= between errors.
+package fixture
+
+import (
+	"errors"
+	"strings"
+)
+
+var errBoom = errors.New("boom")
+
+// TextMatch compares error text with ==.
+func TextMatch(err error) bool { return err.Error() == "boom" }
+
+// Contains string-matches error text.
+func Contains(err error) bool { return strings.Contains(err.Error(), "boom") }
+
+// Prefix string-matches error text through HasPrefix.
+func Prefix(err error) bool { return strings.HasPrefix(err.Error(), "boom") }
+
+// DirectCompare tests error identity with ==, which breaks under %w wrapping.
+func DirectCompare(err error) bool { return err == errBoom }
+
+// NotCompare tests error identity with !=.
+func NotCompare(err error) bool { return err != errBoom }

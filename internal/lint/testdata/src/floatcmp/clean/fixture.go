@@ -1,0 +1,16 @@
+// Package fixture compares floats with tolerances or against the bit-exact
+// zero sentinel — nothing for floatcmp to report.
+package fixture
+
+import "math"
+
+const eps = 1e-9
+
+// Close compares under a tolerance.
+func Close(a, b float64) bool { return math.Abs(a-b) < eps }
+
+// Unset tests the conventional zero "unset" sentinel — exempt.
+func Unset(v float64) bool { return v == 0 }
+
+// SameInt compares integers; floatcmp ignores non-float operands.
+func SameInt(a, b int) bool { return a == b }

@@ -1,0 +1,11 @@
+// Package fixture seeds exact float comparisons for the floatcmp analyzer.
+package fixture
+
+// Same compares float64 bit-exactly.
+func Same(a, b float64) bool { return a == b }
+
+// Moved compares float32 with !=.
+func Moved(a, b float32) bool { return a != b }
+
+// Mixed has one float operand (untyped constant converts).
+func Mixed(a float64) bool { return a == 0.25 }

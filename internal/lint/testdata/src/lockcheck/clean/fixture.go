@@ -1,0 +1,36 @@
+// Package fixture handles lock-bearing values only through pointers and
+// indices — nothing for lockcheck to report.
+package fixture
+
+import "sync"
+
+// Counter carries a mutex by value; all access below is by pointer.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add locks through the pointer receiver.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Total follows pointers.
+func Total(cs []*Counter) int {
+	t := 0
+	for _, c := range cs {
+		t += c.n
+	}
+	return t
+}
+
+// ByIndex ranges a value slice by index, never copying an element.
+func ByIndex(cs []Counter) int {
+	t := 0
+	for i := range cs {
+		t += cs[i].n
+	}
+	return t
+}

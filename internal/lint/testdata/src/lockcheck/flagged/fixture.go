@@ -1,0 +1,39 @@
+// Package fixture seeds every lockcheck violation class: by-value receiver,
+// by-value parameter, copying assignment, and by-value range.
+package fixture
+
+import "sync"
+
+// Counter carries a mutex by value; copying it copies the lock.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add is the legitimate pointer-receiver user of the mutex.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Snapshot copies the receiver.
+func (c Counter) Snapshot() int { return c.n }
+
+// Merge copies the first parameter.
+func Merge(a Counter, b *Counter) int { return a.n + b.n }
+
+// Clone copies through a dereference assignment.
+func Clone(c *Counter) int {
+	d := *c
+	return d.n
+}
+
+// Each copies one Counter per iteration.
+func Each(cs []Counter) int {
+	t := 0
+	for _, c := range cs {
+		t += c.n
+	}
+	return t
+}

@@ -1,0 +1,29 @@
+// Package fixture confines panics to the conventional carve-outs — init and
+// Must* helpers — and returns errors everywhere else.
+package fixture
+
+import "errors"
+
+var registry = map[string]int{}
+
+func init() {
+	if len(registry) != 0 {
+		panic("registry pre-populated")
+	}
+}
+
+// MustSize panics by the Must* convention — exempt.
+func MustSize(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+// Size returns an error like a library should.
+func Size(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n, nil
+}

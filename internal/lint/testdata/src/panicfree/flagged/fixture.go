@@ -1,0 +1,24 @@
+// Package fixture panics from ordinary library functions — both sites are
+// panicfree violations.
+package fixture
+
+import "fmt"
+
+// Explode panics on bad input instead of returning an error.
+func Explode(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative: %d", n))
+	}
+	return n
+}
+
+// Method panics from a method, which is just as fatal to epoch workers.
+type Box struct{ v int }
+
+// Get panics on an empty box.
+func (b *Box) Get() int {
+	if b.v == 0 {
+		panic("empty box")
+	}
+	return b.v
+}

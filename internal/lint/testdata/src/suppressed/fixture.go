@@ -1,0 +1,27 @@
+// Package fixture exercises the suppression directive: the line-above form,
+// the trailing-comment form, and a malformed directive with no reason, which
+// must itself be reported while leaving its target finding alive.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp suppresses its clock read with a directive on the line above.
+func Stamp() int64 {
+	//dynnlint:ignore determinism fixture exercises the line-above suppression form
+	return time.Now().UnixNano()
+}
+
+// Jitter suppresses its RNG draw with a trailing directive.
+func Jitter() float64 {
+	return rand.Float64() //dynnlint:ignore determinism fixture exercises the trailing suppression form
+}
+
+// Explode carries a directive with no reason: the directive is malformed, so
+// the panic below must still be reported alongside the directive finding.
+func Explode() {
+	//dynnlint:ignore panicfree
+	panic("kept")
+}

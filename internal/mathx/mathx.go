@@ -8,7 +8,7 @@ import "math"
 // Dot returns the inner product of a and b. The slices must be equal length.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
-		panic("mathx: Dot length mismatch")
+		panic("mathx: Dot length mismatch") //dynnlint:ignore panicfree shape mismatch is a caller bug; hot-path kernel fails fast like stdlib
 	}
 	var s float64
 	for i, v := range a {
@@ -20,7 +20,7 @@ func Dot(a, b []float64) float64 {
 // Axpy computes y += alpha*x in place.
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
-		panic("mathx: Axpy length mismatch")
+		panic("mathx: Axpy length mismatch") //dynnlint:ignore panicfree shape mismatch is a caller bug; hot-path kernel fails fast like stdlib
 	}
 	for i, v := range x {
 		y[i] += alpha * v
@@ -37,7 +37,7 @@ func Scale(alpha float64, x []float64) {
 // MatVec computes out = A·x where A is rows×cols row-major.
 func MatVec(a []float64, rows, cols int, x, out []float64) {
 	if len(a) != rows*cols || len(x) != cols || len(out) != rows {
-		panic("mathx: MatVec shape mismatch")
+		panic("mathx: MatVec shape mismatch") //dynnlint:ignore panicfree shape mismatch is a caller bug; hot-path kernel fails fast like stdlib
 	}
 	for r := 0; r < rows; r++ {
 		row := a[r*cols : (r+1)*cols]
@@ -53,7 +53,7 @@ func MatVec(a []float64, rows, cols int, x, out []float64) {
 // elements; out has cols elements. Used for backpropagation.
 func MatVecT(a []float64, rows, cols int, x, out []float64) {
 	if len(a) != rows*cols || len(x) != rows || len(out) != cols {
-		panic("mathx: MatVecT shape mismatch")
+		panic("mathx: MatVecT shape mismatch") //dynnlint:ignore panicfree shape mismatch is a caller bug; hot-path kernel fails fast like stdlib
 	}
 	for c := range out {
 		out[c] = 0
@@ -73,7 +73,7 @@ func MatVecT(a []float64, rows, cols int, x, out []float64) {
 // OuterAxpy computes A += alpha * x·yᵀ where A is len(x)×len(y) row-major.
 func OuterAxpy(alpha float64, x, y, a []float64) {
 	if len(a) != len(x)*len(y) {
-		panic("mathx: OuterAxpy shape mismatch")
+		panic("mathx: OuterAxpy shape mismatch") //dynnlint:ignore panicfree shape mismatch is a caller bug; hot-path kernel fails fast like stdlib
 	}
 	cols := len(y)
 	for r, xv := range x {
@@ -91,7 +91,7 @@ func OuterAxpy(alpha float64, x, y, a []float64) {
 // Softmax writes the softmax of x into out (may alias x).
 func Softmax(x, out []float64) {
 	if len(x) != len(out) {
-		panic("mathx: Softmax length mismatch")
+		panic("mathx: Softmax length mismatch") //dynnlint:ignore panicfree shape mismatch is a caller bug; hot-path kernel fails fast like stdlib
 	}
 	maxv := math.Inf(-1)
 	for _, v := range x {

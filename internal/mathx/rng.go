@@ -38,7 +38,7 @@ func (r *RNG) Float64() float64 {
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
-		panic("mathx: Intn with non-positive n")
+		panic("mathx: Intn with non-positive n") //dynnlint:ignore panicfree non-positive n is a caller bug, mirroring math/rand.Intn
 	}
 	return int(r.Uint64() % uint64(n))
 }

@@ -13,7 +13,7 @@ import (
 // Two all-false vectors have distance 0 (identical).
 func Jaccard(a, b []bool) float64 {
 	if len(a) != len(b) {
-		panic("metrics: Jaccard length mismatch")
+		panic("metrics: Jaccard length mismatch") //dynnlint:ignore panicfree length mismatch is a caller bug; fail fast like stdlib slice kernels
 	}
 	inter, union := 0, 0
 	for i := range a {
@@ -36,7 +36,7 @@ func Jaccard(a, b []bool) float64 {
 // control flow is taken or not" for multi-way decisions.
 func JaccardGeneralized(a, b []int) float64 {
 	if len(a) != len(b) {
-		panic("metrics: JaccardGeneralized length mismatch")
+		panic("metrics: JaccardGeneralized length mismatch") //dynnlint:ignore panicfree length mismatch is a caller bug; fail fast like stdlib slice kernels
 	}
 	if len(a) == 0 {
 		return 0
@@ -53,7 +53,7 @@ func JaccardGeneralized(a, b []int) float64 {
 // Pearson returns the Pearson correlation coefficient of x and y.
 func Pearson(x, y []float64) float64 {
 	if len(x) != len(y) {
-		panic("metrics: Pearson length mismatch")
+		panic("metrics: Pearson length mismatch") //dynnlint:ignore panicfree length mismatch is a caller bug; fail fast like stdlib slice kernels
 	}
 	n := float64(len(x))
 	if n == 0 {
@@ -95,7 +95,7 @@ func ranks(x []float64) []float64 {
 	r := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
-		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] { //dynnlint:ignore floatcmp rank ties require bit-equal values; a tolerance would merge distinct ranks
 			j++
 		}
 		avg := float64(i+j)/2 + 1

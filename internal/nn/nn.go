@@ -60,7 +60,7 @@ func (a Activation) apply(x float64) float64 {
 	case Identity:
 		return x
 	}
-	panic("nn: unknown activation")
+	panic("nn: unknown activation") //dynnlint:ignore panicfree unknown activation is unreachable for the fixed enum; guards future edits
 }
 
 // deriv is the derivative expressed in terms of the activation output y.
@@ -83,7 +83,7 @@ func (a Activation) deriv(y float64) float64 {
 	case Identity:
 		return 1
 	}
-	panic("nn: unknown activation")
+	panic("nn: unknown activation") //dynnlint:ignore panicfree unknown activation is unreachable for the fixed enum; guards future edits
 }
 
 // Layer is one fully-connected layer: out = act(W·in + b).
@@ -131,7 +131,7 @@ type MLP struct {
 // width). All hidden layers use act; the output layer is linear.
 func NewMLP(sizes []int, act Activation, rng *mathx.RNG) *MLP {
 	if len(sizes) < 2 {
-		panic("nn: NewMLP needs at least input and output sizes")
+		panic("nn: NewMLP needs at least input and output sizes") //dynnlint:ignore panicfree malformed layer spec is a caller bug at model-construction time
 	}
 	m := &MLP{}
 	for i := 0; i+1 < len(sizes); i++ {
@@ -174,7 +174,7 @@ func (m *MLP) Params() int {
 // Forward/Train call on this MLP. Copy it if you need to keep it.
 func (m *MLP) Forward(in []float64) []float64 {
 	if len(in) != m.InputSize() {
-		panic(fmt.Sprintf("nn: Forward input width %d, want %d", len(in), m.InputSize()))
+		panic(fmt.Sprintf("nn: Forward input width %d, want %d", len(in), m.InputSize())) //dynnlint:ignore panicfree width mismatch is a caller bug; hot-path kernel fails fast like stdlib
 	}
 	copy(m.acts[0], in)
 	for i, l := range m.Layers {
@@ -189,7 +189,7 @@ func (m *MLP) Forward(in []float64) []float64 {
 // (TrainStep) must not run concurrently with Infer.
 func (m *MLP) Infer(in []float64) []float64 {
 	if len(in) != m.InputSize() {
-		panic(fmt.Sprintf("nn: Infer input width %d, want %d", len(in), m.InputSize()))
+		panic(fmt.Sprintf("nn: Infer input width %d, want %d", len(in), m.InputSize())) //dynnlint:ignore panicfree width mismatch is a caller bug; hot-path kernel fails fast like stdlib
 	}
 	cur := in
 	for _, l := range m.Layers {
@@ -209,7 +209,7 @@ const gradClip = 4.0
 func (m *MLP) TrainStep(in, target []float64, lr, momentum float64) float64 {
 	out := m.Forward(in)
 	if len(target) != len(out) {
-		panic("nn: TrainStep target width mismatch")
+		panic("nn: TrainStep target width mismatch") //dynnlint:ignore panicfree width mismatch is a caller bug; hot-path kernel fails fast like stdlib
 	}
 	last := len(m.Layers) - 1
 	var loss float64

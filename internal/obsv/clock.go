@@ -1,0 +1,29 @@
+package obsv
+
+import "time"
+
+// Stopwatch measures wall-clock durations for observability. The
+// deterministic packages (core, pilot, gpusim, sentinel, metrics) are
+// forbidden direct time.Now reads by the dynnlint determinism analyzer;
+// timing they need for latency reporting goes through obsv so every
+// wall-clock read in the simulator's dependency cone is auditable in one
+// place. Stopwatch values feed histograms and reports only — never control
+// flow or simulated state.
+type Stopwatch struct {
+	t0 time.Time
+}
+
+// StartTimer starts a stopwatch.
+func StartTimer() Stopwatch {
+	return Stopwatch{t0: time.Now()}
+}
+
+// ElapsedNS returns nanoseconds since the stopwatch started.
+func (s Stopwatch) ElapsedNS() int64 {
+	return time.Since(s.t0).Nanoseconds()
+}
+
+// Elapsed returns the duration since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.t0)
+}

@@ -31,7 +31,10 @@ func TestEndToEndPilotOnTreeLSTM(t *testing.T) {
 	res := p.Train(train)
 	t.Logf("train: loss=%.4f wall=%v params=%d", res.FinalLoss, res.WallClock, p.Params())
 
-	acc, mispred, lat := p.Evaluate(test)
+	acc, mispred, lat, err := p.Evaluate(test)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
 	t.Logf("test: acc=%.3f mispred=%d/%d latency=%v", acc, mispred, len(test), lat)
 	if acc < 0.6 {
 		t.Errorf("pilot accuracy %.3f too low; learning failed", acc)

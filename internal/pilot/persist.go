@@ -38,8 +38,8 @@ type persistedPilot struct {
 // Save writes the trained pilot to w. It fails on an untrained pilot (no
 // scalers to persist).
 func (p *Pilot) Save(w io.Writer) error {
-	if p.featMean == nil {
-		return fmt.Errorf("pilot: Save before Train")
+	if !p.Trained() {
+		return fmt.Errorf("pilot: Save before Train: %w", ErrNotTrained)
 	}
 	var out persistedPilot
 	out.Config = p.Cfg

@@ -1,6 +1,7 @@
 package pilot
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -9,8 +10,14 @@ import (
 	"dynnoffload/internal/dynn"
 	"dynnoffload/internal/mathx"
 	"dynnoffload/internal/nn"
+	"dynnoffload/internal/obsv"
 	"dynnoffload/internal/sentinel"
 )
+
+// ErrNotTrained is returned when Predict/Resolve/Evaluate run before Train:
+// an untrained pilot has no feature scalers, so inference is meaningless.
+// Callers match it with errors.Is; core wraps it as ErrPilotNotTrained.
+var ErrNotTrained = errors.New("pilot: not trained")
 
 // Config controls pilot-model construction and training (§IV-C: three
 // parallel MLPs of four layers each — input, two hidden, output — selected by
@@ -161,7 +168,7 @@ type TrainResult struct {
 // Train fits the pilot on examples with per-sample SGD (the pilot trains
 // offline, §IV-D). Examples route to the MLP of their base type.
 func (p *Pilot) Train(examples []*Example) TrainResult {
-	start := time.Now()
+	sw := obsv.StartTimer()
 	p.fitScalers(examples)
 	p.normMu.Lock()
 	p.normLabels = map[*ModelContext][][]float64{}
@@ -192,24 +199,28 @@ func (p *Pilot) Train(examples []*Example) TrainResult {
 	}
 	res.Epochs = p.Cfg.Epochs
 	res.FinalLoss = lastLoss
-	res.WallClock = time.Since(start)
+	res.WallClock = sw.Elapsed()
 	return res
 }
 
+// Trained reports whether Train has fit the pilot's scalers and MLPs.
+func (p *Pilot) Trained() bool { return p.featMean != nil }
+
 // Predict runs one inference: it returns the denormalized label vector (the
 // execution-block descriptor rows) and the measured inference latency — the
-// paper's ~30 µs overhead per training sample (§VI-C).
-func (p *Pilot) Predict(base dynn.BaseType, features []float64) ([]float64, time.Duration) {
-	if p.featMean == nil {
-		panic("pilot: Predict before Train")
+// paper's ~30 µs overhead per training sample (§VI-C). It fails with
+// ErrNotTrained before Train.
+func (p *Pilot) Predict(base dynn.BaseType, features []float64) ([]float64, time.Duration, error) {
+	if !p.Trained() {
+		return nil, 0, fmt.Errorf("pilot: Predict before Train: %w", ErrNotTrained)
 	}
-	start := time.Now()
+	sw := obsv.StartTimer()
 	fbuf := make([]float64, len(features))
 	normalize(features, p.featMean, p.featStd, fbuf)
 	raw := p.mlps[int(base)].Infer(fbuf)
 	out := make([]float64, len(raw))
 	denormalize(raw, p.labelMean, p.labelStd, out)
-	return out, time.Since(start)
+	return out, sw.Elapsed(), nil
 }
 
 // Resolution is the result of one pilot inference plus output→path mapping.
@@ -253,18 +264,19 @@ func (p *Pilot) pathLabelsNorm(ctx *ModelContext) [][]float64 {
 // Resolve predicts and maps the output onto a resolution path of the
 // example's model (§IV-B traverse-and-match over the per-block bookkeeping
 // records). Resolve is safe for concurrent use once the pilot is trained;
-// it must not run concurrently with Train.
-func (p *Pilot) Resolve(e *Example) Resolution {
-	if p.featMean == nil {
-		panic("pilot: Resolve before Train")
+// it must not run concurrently with Train. It fails with ErrNotTrained
+// before Train.
+func (p *Pilot) Resolve(e *Example) (Resolution, error) {
+	if !p.Trained() {
+		return Resolution{}, fmt.Errorf("pilot: Resolve before Train: %w", ErrNotTrained)
 	}
-	start := time.Now()
+	sw := obsv.StartTimer()
 	fbuf := make([]float64, len(e.Features))
 	normalize(e.Features, p.featMean, p.featStd, fbuf)
 	predNorm := p.mlps[int(e.Base)].Infer(fbuf)
-	inferNS := time.Since(start).Nanoseconds()
+	inferNS := sw.ElapsedNS()
 
-	mapStart := time.Now()
+	mapSW := obsv.StartTimer()
 	candidates := p.pathLabelsNorm(e.Ctx)
 	bestIdx, bestDist := -1, 0.0
 	for i, cand := range candidates {
@@ -277,7 +289,7 @@ func (p *Pilot) Resolve(e *Example) Resolution {
 			bestIdx, bestDist = i, d
 		}
 	}
-	mapNS := time.Since(mapStart).Nanoseconds()
+	mapNS := mapSW.ElapsedNS()
 
 	out := make([]float64, len(predNorm))
 	denormalize(predNorm, p.labelMean, p.labelStd, out)
@@ -287,20 +299,24 @@ func (p *Pilot) Resolve(e *Example) Resolution {
 		rms := bestDist / float64(len(out))
 		res.Exact = rms < exactMatchRMS*exactMatchRMS
 	}
-	return res
+	return res, nil
 }
 
 // Evaluate measures prediction accuracy over examples: a prediction is
 // correct when the mapped path equals the ground-truth path. It returns the
-// accuracy, the mis-prediction count, and the mean inference latency.
-func (p *Pilot) Evaluate(examples []*Example) (accuracy float64, mispredictions int, meanLatency time.Duration) {
+// accuracy, the mis-prediction count, and the mean inference latency. It
+// fails with ErrNotTrained before Train.
+func (p *Pilot) Evaluate(examples []*Example) (accuracy float64, mispredictions int, meanLatency time.Duration, err error) {
 	if len(examples) == 0 {
-		return 0, 0, 0
+		return 0, 0, 0, nil
 	}
 	var correct int
 	var totalLatNS int64
 	for _, e := range examples {
-		res := p.Resolve(e)
+		res, err := p.Resolve(e)
+		if err != nil {
+			return 0, 0, 0, err
+		}
 		totalLatNS += res.InferNS
 		if res.Path != nil && res.Path.Key == e.TruthKey {
 			correct++
@@ -309,13 +325,17 @@ func (p *Pilot) Evaluate(examples []*Example) (accuracy float64, mispredictions 
 		}
 	}
 	return float64(correct) / float64(len(examples)), mispredictions,
-		time.Duration(totalLatNS / int64(len(examples)))
+		time.Duration(totalLatNS / int64(len(examples))), nil
 }
 
 // MappingOverhead measures the output→path mapping cost (§VI-C: 10–15 µs)
-// for one example.
-func (p *Pilot) MappingOverhead(e *Example) time.Duration {
-	return time.Duration(p.Resolve(e).MapNS)
+// for one example. It fails with ErrNotTrained before Train.
+func (p *Pilot) MappingOverhead(e *Example) (time.Duration, error) {
+	res, err := p.Resolve(e)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(res.MapNS), nil
 }
 
 // String describes the pilot briefly.

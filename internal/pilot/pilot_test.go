@@ -2,6 +2,8 @@ package pilot
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"testing"
 
 	"dynnoffload/internal/dynn"
@@ -133,14 +135,35 @@ func TestTruthPath(t *testing.T) {
 	}
 }
 
-func TestPredictBeforeTrainPanics(t *testing.T) {
+func TestUntrainedPilotErrors(t *testing.T) {
 	p := New(Config{Neurons: 8})
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	p.Predict(dynn.CNN, make([]float64, p.Cfg.Features.Width()))
+	if p.Trained() {
+		t.Fatal("fresh pilot reports trained")
+	}
+	if _, _, err := p.Predict(dynn.CNN, make([]float64, p.Cfg.Features.Width())); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Predict err = %v, want ErrNotTrained", err)
+	}
+	m := dynn.NewVarLSTM(dynn.VarLSTMConfig{Hidden: 32, Batch: 2, Seed: 1})
+	ctx, err := NewModelContext(m, gpusim.NewCostModel(gpusim.RTXPlatform()), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exs, err := BuildExamples(ctx, FeatureConfig{}, dynn.GenerateSamples(4, 10, 8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Resolve(exs[0]); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Resolve err = %v, want ErrNotTrained", err)
+	}
+	if _, _, _, err := p.Evaluate(exs); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Evaluate err = %v, want ErrNotTrained", err)
+	}
+	if _, err := p.MappingOverhead(exs[0]); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("MappingOverhead err = %v, want ErrNotTrained", err)
+	}
+	if err := p.Save(io.Discard); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Save err = %v, want ErrNotTrained", err)
+	}
 }
 
 func TestGenerализationLeaveOut(t *testing.T) {
@@ -157,7 +180,10 @@ func TestGenerализationLeaveOut(t *testing.T) {
 	exB, _ := BuildExamples(ctxB, FeatureConfig{}, samples[200:])
 	p := New(Config{Neurons: 32, Epochs: 4, Seed: 1})
 	p.Train(exA)
-	acc, mis, _ := p.Evaluate(exB)
+	acc, mis, _, err := p.Evaluate(exB)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if acc < 0 || acc > 1 || mis > len(exB) {
 		t.Errorf("evaluation out of range: acc=%v mis=%d", acc, mis)
 	}
@@ -185,15 +211,27 @@ func TestPilotSaveLoadRoundTrip(t *testing.T) {
 	}
 	// Identical predictions after the round trip.
 	for _, e := range exs[250:260] {
-		a, _ := p.Predict(e.Base, e.Features)
-		b, _ := q.Predict(e.Base, e.Features)
+		a, _, err := p.Predict(e.Base, e.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := q.Predict(e.Base, e.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i := range a {
 			if a[i] != b[i] {
 				t.Fatalf("prediction diverged after load at dim %d", i)
 			}
 		}
-		ra := p.Resolve(e)
-		rb := q.Resolve(e)
+		ra, err := p.Resolve(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := q.Resolve(e)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if ra.Path.Key != rb.Path.Key {
 			t.Fatal("resolution diverged after load")
 		}

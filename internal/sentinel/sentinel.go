@@ -10,6 +10,7 @@ package sentinel
 
 import (
 	"fmt"
+	"sort"
 
 	"dynnoffload/internal/gpusim"
 	"dynnoffload/internal/tensor"
@@ -199,10 +200,21 @@ func Validate(blocks []Block, numOps int) error {
 // iterations). These are resident at every point of the iteration.
 func (a *Analysis) PersistentBytes() int64 {
 	var total int64
-	for id := range a.persistentIDs() {
+	for _, id := range sortedIDs(a.persistentIDs()) {
 		total += a.bytesOf[id]
 	}
 	return total
+}
+
+// sortedIDs returns the set's keys in ascending order so every iteration
+// over it is reproducible (map range order is randomized per run).
+func sortedIDs(m map[int64]bool) []int64 {
+	out := make([]int64, 0, len(m))
+	for id := range m {
+		out = append(out, id) //dynnlint:ignore determinism keys are sorted before any order-dependent use
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // persistentIDs identifies cross-iteration tensors: Weight/OptState/Constant
@@ -238,7 +250,7 @@ func (a *Analysis) persistentIDs() map[int64]bool {
 func (a *Analysis) PeakResidentBytes() int64 {
 	persistent := a.persistentIDs()
 	var base int64
-	for id := range persistent {
+	for _, id := range sortedIDs(persistent) {
 		base += a.bytesOf[id]
 	}
 	n := a.NumOps()
@@ -356,10 +368,5 @@ func (a *Analysis) Producer(id int64) int {
 // PersistentIDs lists cross-iteration tensors (weights, optimizer state,
 // constants, weight-gradient buffers) — see PersistentBytes.
 func (a *Analysis) PersistentIDs() []int64 {
-	m := a.persistentIDs()
-	out := make([]int64, 0, len(m))
-	for id := range m {
-		out = append(out, id)
-	}
-	return out
+	return sortedIDs(a.persistentIDs())
 }
