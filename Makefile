@@ -1,6 +1,8 @@
 GO ?= go
+FUZZTIME ?= 20s
+COVER_MIN ?= 70
 
-.PHONY: build test check race race-full fmt vet lint bench
+.PHONY: build test check race race-full fmt vet lint bench fuzz cover
 
 build:
 	$(GO) build ./...
@@ -22,9 +24,11 @@ fmt:
 lint:
 	$(GO) run ./cmd/dynnlint ./...
 
-# Race-check the concurrent runtime (sharded cache, parallel epochs, pilot).
+# Race-check the concurrent runtime (sharded cache, parallel epochs, pilot)
+# and the packages the fault injector threads through (simulator, counters).
 race:
-	$(GO) test -race ./internal/core/... ./internal/obsv/... ./internal/pilot/...
+	$(GO) test -race ./internal/core/... ./internal/obsv/... ./internal/pilot/... \
+		./internal/gpusim/... ./internal/faults/...
 
 # Race-check everything (slow).
 race-full:
@@ -32,6 +36,23 @@ race-full:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Native Go fuzzing of graph resolution and the Sentinel partitioner. Each
+# -fuzz pattern needs its own go test invocation; seed corpora live under the
+# packages' testdata/fuzz/. CI runs this with a short FUZZTIME as a smoke
+# pass; raise it locally to dig (e.g. make fuzz FUZZTIME=10m).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzResolve$$' -fuzztime $(FUZZTIME) ./internal/dynn
+	$(GO) test -run '^$$' -fuzz '^FuzzPartition$$' -fuzztime $(FUZZTIME) ./internal/sentinel
+
+# Coverage gate over the internal packages: fails below COVER_MIN% total.
+# Leaves coverage.out behind for inspection / CI artifact upload.
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total% (minimum $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit !(t+0 >= min+0) }' || \
+		{ echo "coverage below $(COVER_MIN)%"; exit 1; }
 
 # The tier-1 gate: build, vet, formatting, project lint, full tests, and the
 # race pass over the concurrent packages.

@@ -18,12 +18,13 @@ import (
 	"strings"
 
 	"dynnoffload/internal/expt"
+	"dynnoffload/internal/faults"
 	"dynnoffload/internal/obsv"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1,table2,heuristic,largest,table3,fig7,fig8,fig9,fig10,table4,fig11,fig12,mispred,mispred-handling,overhead,parallel,all")
+		exp       = flag.String("exp", "all", "experiment: table1,table2,heuristic,largest,table3,fig7,fig8,fig9,fig10,table4,fig11,fig12,mispred,mispred-handling,overhead,parallel,faultsweep,all")
 		train     = flag.Int("train", 0, "pilot-training samples per model (default CI scale)")
 		test      = flag.Int("test", 0, "evaluation samples per model")
 		neurons   = flag.Int("neurons", 0, "pilot hidden width")
@@ -33,6 +34,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "epoch worker pool size for DyNN-Offload epochs (0 = serial, -1 = GOMAXPROCS)")
 		stats     = flag.String("stats", "", "write per-sample JSONL observability events to this file")
 		statsJSON = flag.String("statsjson", "", "write aggregate per-model RunStats JSON for the parallel experiment to this file")
+		faultSpec = flag.String("faults", "", "deterministic fault injection, e.g. seed=7,rate=0.05[,stall=4]")
 	)
 	flag.Parse()
 
@@ -56,6 +58,14 @@ func main() {
 	opts.Workers = *workers
 	if opts.Workers < 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if *faultSpec != "" {
+		fc, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynnbench:", err)
+			os.Exit(1)
+		}
+		opts.Faults = fc
 	}
 
 	var sink obsv.Sink
@@ -82,7 +92,7 @@ func run(exp string, opts expt.Options, sink obsv.Sink, statsJSON string) error 
 	needsWB := map[string]bool{
 		"fig7": true, "fig8": true, "fig9": true, "fig10": true,
 		"mispred": true, "mispred-handling": true, "overhead": true, "fig12": true,
-		"parallel": true,
+		"parallel": true, "faultsweep": true,
 	}
 	var wb *expt.Workbench
 	getWB := func() (*expt.Workbench, error) {
@@ -99,7 +109,7 @@ func run(exp string, opts expt.Options, sink obsv.Sink, statsJSON string) error 
 	if exp == "all" {
 		names = []string{"table1", "table2", "heuristic", "largest", "table3",
 			"fig7", "fig8", "fig9", "fig10", "table4", "fig11", "fig12",
-			"mispred", "mispred-handling", "overhead"}
+			"mispred", "mispred-handling", "overhead", "faultsweep"}
 	}
 	for _, name := range names {
 		var tab *expt.Table
@@ -145,6 +155,8 @@ func run(exp string, opts expt.Options, sink obsv.Sink, statsJSON string) error 
 				tab, err = expt.MispredHandling(w)
 			case "overhead":
 				tab, err = expt.Overhead(w)
+			case "faultsweep":
+				tab, err = expt.FaultSweep(w)
 			case "parallel":
 				n := opts.Workers
 				if n <= 1 {

@@ -34,6 +34,7 @@ import (
 
 	"dynnoffload/internal/core"
 	"dynnoffload/internal/dynn"
+	"dynnoffload/internal/faults"
 	"dynnoffload/internal/gpusim"
 	"dynnoffload/internal/obsv"
 	"dynnoffload/internal/pilot"
@@ -130,7 +131,22 @@ type SystemConfig struct {
 	// Workers sizes TrainEpoch's worker pool: 0 runs serially, <0 uses
 	// GOMAXPROCS. Epoch aggregates are identical at any setting.
 	Workers int
+	// Faults configures deterministic fault injection into the simulated
+	// device (zero Rate disables it). The engine recovers via bounded
+	// retries and the degradation ladder; epoch aggregates stay identical
+	// to the fault-free run, only timing and traffic change.
+	Faults FaultConfig
 }
+
+// FaultConfig seeds the deterministic fault injector: Seed selects the fault
+// schedule, Rate is the per-operation fault probability in [0,1], and
+// StallFactor multiplies a stalled transfer's latency. Parse the CLI form
+// "seed=N,rate=R[,stall=F]" with ParseFaultSpec.
+type FaultConfig = faults.Config
+
+// ParseFaultSpec parses "seed=N,rate=R[,stall=F]" into a FaultConfig (the
+// format of dynnbench's -faults flag).
+var ParseFaultSpec = faults.ParseSpec
 
 // Option mutates a SystemConfig during NewSystem.
 type Option func(*SystemConfig)
@@ -146,6 +162,11 @@ func WithPilot(p *Pilot) Option { return func(c *SystemConfig) { c.Pilot = p } }
 
 // WithWorkers sizes TrainEpoch's worker pool: 0 serial, <0 GOMAXPROCS.
 func WithWorkers(n int) Option { return func(c *SystemConfig) { c.Workers = n } }
+
+// WithFaultInjection enables deterministic fault injection at the given seed
+// and rate. Same config, same model, same samples → same fault schedule and
+// identical RunStats fault/retry counters, at any worker count.
+func WithFaultInjection(fc FaultConfig) Option { return func(c *SystemConfig) { c.Faults = fc } }
 
 // System couples a model context, a pilot model, and the DyNN-Offload
 // runtime — the paper's Fig 2 architecture.
@@ -195,9 +216,19 @@ func newSystem(cfg SystemConfig) (*System, error) {
 	}
 	s := &System{cfg: cfg, ctx: ctx, pilot: cfg.Pilot}
 	if s.pilot != nil {
-		s.engine = core.NewEngine(core.DefaultConfig(cfg.Platform), s.pilot)
+		s.engine = core.NewEngine(s.engineConfig(), s.pilot)
 	}
 	return s, nil
+}
+
+// engineConfig derives the runtime config from the system config (platform
+// defaults plus the fault injector when one is enabled).
+func (s *System) engineConfig() core.Config {
+	ecfg := core.DefaultConfig(s.cfg.Platform)
+	if s.cfg.Faults.Rate > 0 {
+		ecfg.Faults = faults.New(s.cfg.Faults)
+	}
+	return ecfg
 }
 
 // Context exposes the model context (paths, labels, analyses).
@@ -217,7 +248,7 @@ func (s *System) TrainPilot(samples []*dynn.Sample) (pilot.TrainResult, error) {
 	}
 	s.pilot = pilot.New(s.cfg.PilotConfig)
 	res := s.pilot.Train(exs)
-	s.engine = core.NewEngine(core.DefaultConfig(s.cfg.Platform), s.pilot)
+	s.engine = core.NewEngine(s.engineConfig(), s.pilot)
 	return res, nil
 }
 

@@ -115,8 +115,11 @@ func TestPipelinedNoWorseThanOnDemand(t *testing.T) {
 	ctx, _, _, plat := testBench(t)
 	eng := NewEngine(DefaultConfig(plat), nil)
 	for _, info := range ctx.Paths[:4] {
-		pipe := eng.simulatePipelined(info.Analysis, info.Blocks)
-		demand := eng.simulateOnDemand(info.Analysis, info.Blocks)
+		pipe, err := eng.simulatePipelined(info.Analysis, info.Blocks, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		demand := eng.simulateOnDemand(info.Analysis, info.Blocks, nil)
 		if pipe.TotalNS() > demand.TotalNS() {
 			t.Errorf("pipelined %d > on-demand %d", pipe.TotalNS(), demand.TotalNS())
 		}

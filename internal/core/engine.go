@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dynnoffload/internal/faults"
 	"dynnoffload/internal/gpusim"
 	"dynnoffload/internal/pilot"
 )
@@ -45,11 +46,44 @@ type Config struct {
 	// FaultLatencyNS is charged per execution block when a sample falls back
 	// to on-demand fetching (the tensor-fault handler round trip).
 	FaultLatencyNS int64
+	// Faults, when non-nil and enabled, injects deterministic transfer and
+	// allocation faults into the simulated device; the engine recovers via
+	// the Retry policy and the degradation ladder. Nil means fault-free.
+	Faults *faults.Injector
+	// Retry bounds the recovery ladder's re-issue loop. Zero fields take the
+	// defaults in NewEngine.
+	Retry RetryPolicy
+	// ForceOnDemand routes every sample through the on-demand path,
+	// regardless of prediction outcome — the FaultSweep baseline.
+	ForceOnDemand bool
 }
+
+// RetryPolicy bounds retry-with-exponential-backoff: a faulted operation is
+// re-issued at most MaxAttempts times in total, waiting BackoffNS of
+// simulated time before the first retry and doubling each subsequent one.
+// After the budget is exhausted the ladder degrades instead of failing:
+// transfers fall back to a fault-blind blocking copy, allocations to
+// evict-and-retry — ErrCapacityExceeded surfaces only when eviction cannot
+// free enough space.
+type RetryPolicy struct {
+	MaxAttempts int
+	BackoffNS   int64
+}
+
+// Default retry policy applied by NewEngine for zero fields.
+const (
+	DefaultRetryAttempts  = 4
+	DefaultRetryBackoffNS = 2_000
+)
 
 // DefaultConfig returns the runtime defaults for a platform.
 func DefaultConfig(p gpusim.Platform) Config {
-	return Config{Platform: p, HandleMispredictions: true, FaultLatencyNS: 25_000}
+	return Config{
+		Platform:             p,
+		HandleMispredictions: true,
+		FaultLatencyNS:       25_000,
+		Retry:                RetryPolicy{MaxAttempts: DefaultRetryAttempts, BackoffNS: DefaultRetryBackoffNS},
+	}
 }
 
 // Engine simulates DyNN training under DyNN-Offload. The cost model and the
@@ -67,6 +101,12 @@ type Engine struct {
 
 // NewEngine builds a runtime around a trained pilot.
 func NewEngine(cfg Config, p *pilot.Pilot) *Engine {
+	if cfg.Retry.MaxAttempts <= 0 {
+		cfg.Retry.MaxAttempts = DefaultRetryAttempts
+	}
+	if cfg.Retry.BackoffNS <= 0 {
+		cfg.Retry.BackoffNS = DefaultRetryBackoffNS
+	}
 	return &Engine{Cfg: cfg, CM: gpusim.NewCostModel(cfg.Platform), Pilot: p, cache: newShardedCache()}
 }
 
@@ -77,6 +117,9 @@ type SampleResult struct {
 	CacheHit     bool
 	PilotNS      int64
 	MappingNS    int64
+	// FaultCounters tallies injected faults and recovery work for this
+	// sample (zero when injection is disabled).
+	FaultCounters faults.Counters
 }
 
 // EpochReport aggregates sample results.
@@ -87,6 +130,7 @@ type EpochReport struct {
 	CacheHits      int
 	PilotNS        int64
 	MappingNS      int64
+	FaultCounters  faults.Counters
 }
 
 // add folds one sample result into the report. All fields are commutative
@@ -103,6 +147,7 @@ func (rep *EpochReport) add(r SampleResult) {
 	}
 	rep.PilotNS += r.PilotNS
 	rep.MappingNS += r.MappingNS
+	rep.FaultCounters = rep.FaultCounters.Add(r.FaultCounters)
 }
 
 // outputKey quantizes a pilot output vector to the nearest integer per
@@ -172,14 +217,31 @@ func (e *Engine) decide(ex *pilot.Example, resolution *pilot.Resolution) (decisi
 	return d, nil
 }
 
+// faultStream derives the sample's fault stream. The scope is the sample ID,
+// not its epoch position, so a sample draws the same fault schedule on every
+// run at any worker count — the determinism the acceptance bar requires.
+// Returns nil (no injection) when faults are disabled.
+func (e *Engine) faultStream(ex *pilot.Example) *faults.Stream {
+	if !e.Cfg.Faults.Enabled() {
+		return nil
+	}
+	var scope uint64
+	if ex.Sample != nil {
+		scope = uint64(ex.Sample.ID)
+	}
+	return e.Cfg.Faults.Stream(scope)
+}
+
 // simulate executes the decided sample: double-buffered prefetch on a correct
 // prediction, on-demand fallback on a mis-prediction. Read-only on the
-// engine; safe to run concurrently.
-func (e *Engine) simulate(d decision) gpusim.Breakdown {
-	if d.mispredicted {
-		return e.simulateOnDemand(d.truth.Analysis, d.truth.Blocks)
+// engine; safe to run concurrently (each call gets its own fault stream).
+// The error is non-nil only when the degradation ladder is genuinely stuck
+// (ErrCapacityExceeded) — never in fault-free runs.
+func (e *Engine) simulate(d decision, fs *faults.Stream) (gpusim.Breakdown, error) {
+	if d.mispredicted || e.Cfg.ForceOnDemand {
+		return e.simulateOnDemand(d.truth.Analysis, d.truth.Blocks, fs), nil
 	}
-	return e.simulatePipelined(d.truth.Analysis, d.truth.Blocks)
+	return e.simulatePipelined(d.truth.Analysis, d.truth.Blocks, fs)
 }
 
 // RunSample simulates one training iteration: pilot inference, output→path
@@ -210,7 +272,12 @@ func (e *Engine) RunSample(ex *pilot.Example) (SampleResult, error) {
 	}
 	res.Mispredicted = d.mispredicted
 	res.CacheHit = d.cacheHit
-	res.Breakdown = e.simulate(d)
+	fs := e.faultStream(ex)
+	res.Breakdown, err = e.simulate(d, fs)
+	if err != nil {
+		return res, err
+	}
+	res.FaultCounters = fs.Counters()
 	res.Breakdown.OverheadNS += res.PilotNS + res.MappingNS
 	return res, nil
 }

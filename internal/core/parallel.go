@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"dynnoffload/internal/faults"
 	"dynnoffload/internal/obsv"
 	"dynnoffload/internal/pilot"
 )
@@ -91,8 +92,14 @@ func (e *Engine) ParallelRunEpoch(examples []*pilot.Example, opts EpochOptions) 
 	}
 
 	// Phase 3: concurrent simulation, streamed through a channel so
-	// aggregation never waits on stragglers in index order.
+	// aggregation never waits on stragglers in index order. Each sample
+	// derives its own fault stream scoped by sample ID, so the injected
+	// schedule — and therefore every fault/retry counter — is identical at
+	// any worker count. Simulation errors (capacity exhaustion on the
+	// ladder's last rung, unreachable without injection) are collected
+	// per-index; the lowest one wins, matching serial order.
 	results := make(chan SampleResult, workers)
+	simErrs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -104,11 +111,21 @@ func (e *Engine) ParallelRunEpoch(examples []*pilot.Example, opts EpochOptions) 
 			res.Mispredicted = decisions[i].mispredicted
 			res.CacheHit = decisions[i].cacheHit
 			simSW := obsv.StartTimer()
-			res.Breakdown = e.simulate(decisions[i])
+			fs := e.faultStream(examples[i])
+			var err error
+			res.Breakdown, err = e.simulate(decisions[i], fs)
+			if err != nil {
+				simErrs[i] = err
+				return
+			}
+			res.FaultCounters = fs.Counters()
 			res.Breakdown.OverheadNS += res.PilotNS + res.MappingNS
 			if rec != nil {
 				rec.ObservePhase(PhaseSimulate, simSW.ElapsedNS())
 				rec.ObserveSample(i, res.Mispredicted, res.CacheHit, res.Breakdown.TotalNS())
+				if fs != nil {
+					rec.ObserveFaults(faultStats(fs.Counters()))
+				}
 			}
 			results <- res
 		})
@@ -118,7 +135,32 @@ func (e *Engine) ParallelRunEpoch(examples []*pilot.Example, opts EpochOptions) 
 		rep.add(res)
 	}
 	wg.Wait()
+	if firstErr == nil {
+		for _, err := range simErrs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
 	return rep, firstErr
+}
+
+// faultStats mirrors injector counters into the obsv snapshot type (obsv
+// stays dependency-free, so the conversion lives here).
+func faultStats(c faults.Counters) obsv.FaultStats {
+	return obsv.FaultStats{
+		Injected:          c.Injected(),
+		TransferStalls:    c.TransferStalls,
+		TransferAborts:    c.TransferAborts,
+		AllocFaults:       c.AllocFaults,
+		PrefetchDrops:     c.PrefetchDrops,
+		Retries:           c.Retries,
+		BackoffNS:         c.BackoffNS,
+		OnDemandFallbacks: c.OnDemandFallbacks,
+		EvictRetries:      c.EvictRetries,
+		SyncFallbacks:     c.SyncFallbacks,
+	}
 }
 
 // fanOut runs fn(i) for i in [0, n) across a pool of workers.

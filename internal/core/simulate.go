@@ -1,9 +1,35 @@
 package core
 
 import (
+	"fmt"
+
+	"dynnoffload/internal/faults"
 	"dynnoffload/internal/gpusim"
 	"dynnoffload/internal/sentinel"
 )
+
+// xfer issues one transfer on a lane and climbs the recovery ladder on
+// injected faults: bounded re-issues with exponential backoff on the DES
+// clock, then a final fault-blind blocking copy that always completes.
+// Returns the completion time; fault-free it is exactly Streams.Run, so the
+// no-injection arithmetic is bit-identical to the pre-fault engine.
+func (e *Engine) xfer(s *gpusim.Streams, lane gpusim.Lane, fs *faults.Stream, ready, dur int64) int64 {
+	end, err := s.Try(lane, ready, dur)
+	backoff := e.Cfg.Retry.BackoffNS
+	for attempt := 1; err != nil && attempt < e.Cfg.Retry.MaxAttempts; attempt++ {
+		fs.NoteRetry(backoff)
+		end, err = s.Try(lane, end+backoff, dur)
+		backoff *= 2
+	}
+	if err != nil {
+		// Retry budget exhausted: degrade to the blocking synchronous copy,
+		// which never consults the injector and therefore always completes —
+		// the property that keeps rate-1.0 runs terminating.
+		fs.NoteSyncFallback()
+		end = s.Run(lane, end, dur)
+	}
+	return end
+}
 
 // simulatePipelined executes one iteration under the double-buffered prefetch
 // schedule (§IV-E):
@@ -16,30 +42,86 @@ import (
 //     i+1 (evict-then-prefetch, serialized to avoid fragmentation);
 //   - residency is materialized in a MemPool so the peak footprint and the
 //     double-buffer invariant are measured, not assumed.
-func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Block) gpusim.Breakdown {
+//
+// With a fault stream attached, every transfer may stall or abort (recovered
+// by xfer's retry ladder), every allocation may transiently fail (recovered
+// by retry, then evict-and-retry), and a scheduled prefetch may be silently
+// dropped — the block then fetches on demand at start, fully exposed, paying
+// the tensor-fault handler round trip. Faults perturb timing and traffic
+// only; the returned error is non-nil solely when eviction cannot free
+// enough space (genuine capacity exhaustion).
+func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Block, fs *faults.Stream) (gpusim.Breakdown, error) {
 	var bd gpusim.Breakdown
 	if len(blocks) == 0 {
-		return bd
+		return bd, nil
 	}
 
 	// Fast path: the liveness peak fits on the GPU — no offloading needed;
-	// tensors migrate in once (first iteration) and stay.
+	// tensors migrate in once (first iteration) and stay. No migrations means
+	// nothing to inject against.
 	if an.PeakResidentBytes() <= e.Cfg.Platform.GPU.MemBytes {
 		bd.ComputeNS = an.TotalComputeNS()
 		bd.PeakGPUBytes = an.PeakResidentBytes()
-		return bd
+		return bd, nil
 	}
 
 	pool := gpusim.NewMemPool(e.Cfg.Platform.GPU.MemBytes)
-	var streams gpusim.Streams
+	streams := gpusim.NewStreams(gpusim.WithFaultStream(fs))
 	none := sentinel.Block{}
 
-	addAll := func(ids []int64) {
+	// addAll makes ids resident, consulting the fault stream at each
+	// allocation and climbing the ladder on failure: bounded retries with
+	// exponential backoff, then a fault-blind attempt, then evict-and-retry,
+	// and only when eviction cannot free enough space ErrCapacityExceeded.
+	// Returns the migration clock advanced by backoff waits and eviction
+	// transfers. Fault-free it reduces to the plain residency update with
+	// unchanged timing.
+	addAll := func(ids []int64, ready int64) (int64, error) {
 		for _, id := range ids {
-			// Residency accounting; capacity violations here would indicate
-			// a partition bug (budget is validated at partition time).
-			_ = pool.Add(id, an.BytesOf(id))
+			bytes := an.BytesOf(id)
+			if fs.Alloc() {
+				// Transient allocator pressure: wait it out on the DES clock.
+				backoff := e.Cfg.Retry.BackoffNS
+				for attempt := 1; attempt < e.Cfg.Retry.MaxAttempts; attempt++ {
+					fs.NoteRetry(backoff)
+					ready += backoff
+					backoff *= 2
+					if !fs.Alloc() {
+						break
+					}
+				}
+				// Whether or not the pressure cleared within the budget, the
+				// attempt below is fault-blind: an injected transient failure
+				// never blocks progress, only real capacity can.
+			}
+			err := pool.Add(id, bytes)
+			if err == nil {
+				continue
+			}
+			if fs == nil {
+				// Pre-fault semantics: residency accounting only; a full
+				// pool here indicates a partition bug (budget is validated
+				// at partition time), not a runtime error.
+				continue
+			}
+			// Evict-and-retry: write back LRU residents until the tensor
+			// fits, charging the D2H traffic on the migration clock.
+			need := bytes - pool.Free()
+			var evicted int64
+			for _, v := range pool.Victims(need, nil) {
+				evicted += pool.Remove(v)
+			}
+			if evicted > 0 {
+				bd.D2HBytes += evicted
+				ready = e.xfer(streams, gpusim.LaneD2H, fs, ready, e.CM.BatchedXferTime(evicted))
+			}
+			fs.NoteEvictRetry()
+			if err := pool.Add(id, bytes); err != nil {
+				return ready, fmt.Errorf("core: tensor %d (%d bytes) after evicting %d: %w",
+					id, bytes, evicted, ErrCapacityExceeded)
+			}
 		}
+		return ready, nil
 	}
 	dropAll := func(ids []int64) {
 		for _, id := range ids {
@@ -47,17 +129,37 @@ func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Bloc
 		}
 	}
 
-	// Initial prefetch of block 0.
+	// Initial prefetch of block 0 — inherently synchronous (compute cannot
+	// start without it), so only stalls/aborts apply, not prefetch-drop.
 	fetch0 := an.FetchBytes(blocks[0], none)
-	mig := streams.RunH2D(0, e.CM.BatchedXferTime(fetch0))
+	mig := e.xfer(streams, gpusim.LaneH2D, fs, 0, e.CM.BatchedXferTime(fetch0))
 	bd.H2DBytes += fetch0
-	addAll(an.WorkingIDs(blocks[0]))
+	var err error
+	if mig, err = addAll(an.WorkingIDs(blocks[0]), mig); err != nil {
+		return bd, err
+	}
 
+	dropped := false // block i's prefetch was dropped; fetch on demand at start
+	var droppedBytes int64
 	computeEnd := int64(0)
 	for i := range blocks {
 		start := mig
 		if computeEnd > start {
 			start = computeEnd
+		}
+		if dropped {
+			// Degradation ladder, prefetch-drop rung: the predicted block's
+			// tensors are not resident at block start. Fetch on demand —
+			// fully exposed on the critical path — and pay the tensor-fault
+			// handler round trip, exactly like a mis-predicted sample would.
+			start = e.xfer(streams, gpusim.LaneH2D, fs, start, e.CM.BatchedXferTime(droppedBytes))
+			bd.H2DBytes += droppedBytes
+			bd.FaultNS += e.Cfg.FaultLatencyNS
+			bd.Faults++
+			fs.NoteOnDemandFallback()
+			if start, err = addAll(an.WorkingIDs(blocks[i]), start); err != nil {
+				return bd, err
+			}
 		}
 		if start > computeEnd {
 			bd.ExposedXferNS += start - computeEnd
@@ -68,18 +170,26 @@ func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Bloc
 		// i+1 into the freed migration buffer.
 		if i+1 < len(blocks) {
 			migStart := max64(mig, start)
-			var dur int64
 			if i > 0 {
 				evict := an.EvictBytes(blocks[i-1], blocks[i+1].Start)
-				dur += e.CM.BatchedXferTime(evict)
+				migStart = e.xfer(streams, gpusim.LaneD2H, fs, migStart, e.CM.BatchedXferTime(evict))
 				bd.D2HBytes += evict
 				dropAll(an.WorkingIDs(blocks[i-1]))
 			}
 			fetch := an.FetchBytes(blocks[i+1], blocks[i])
-			dur += e.CM.BatchedXferTime(fetch)
-			bd.H2DBytes += fetch
-			addAll(an.WorkingIDs(blocks[i+1]))
-			mig = migStart + dur
+			if fs.PrefetchDrop() {
+				// The prefetch is silently lost: no fetch charge now, the
+				// block recovers on demand when it starts.
+				dropped, droppedBytes = true, fetch
+				mig = migStart
+			} else {
+				dropped = false
+				mig = e.xfer(streams, gpusim.LaneH2D, fs, migStart, e.CM.BatchedXferTime(fetch))
+				bd.H2DBytes += fetch
+				if mig, err = addAll(an.WorkingIDs(blocks[i+1]), mig); err != nil {
+					return bd, err
+				}
+			}
 		}
 
 		blockCompute := an.ComputeNS(blocks[i])
@@ -100,14 +210,16 @@ func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Bloc
 		bd.OverlapXferNS = 0
 	}
 	bd.PeakGPUBytes = pool.Peak()
-	return bd
+	return bd, nil
 }
 
 // simulateOnDemand models a mis-predicted sample: the prefetched tensors are
 // wrong, so every block's migration is exposed on the critical path and each
 // block pays the tensor-fault handler latency (§IV-E "fetching tensors on
-// demand").
-func (e *Engine) simulateOnDemand(an *sentinel.Analysis, blocks []sentinel.Block) gpusim.Breakdown {
+// demand"). Injected faults stretch the exposed transfers (stall) or force
+// re-issues with backoff (abort); the path is already fully on-demand, so
+// prefetch-drop and allocation faults have nothing further to degrade.
+func (e *Engine) simulateOnDemand(an *sentinel.Analysis, blocks []sentinel.Block, fs *faults.Stream) gpusim.Breakdown {
 	var bd gpusim.Breakdown
 	if an.PeakResidentBytes() <= e.Cfg.Platform.GPU.MemBytes {
 		// Fits on GPU: the wrong prediction costs only the fault round trip.
@@ -117,17 +229,40 @@ func (e *Engine) simulateOnDemand(an *sentinel.Analysis, blocks []sentinel.Block
 		bd.PeakGPUBytes = an.PeakResidentBytes()
 		return bd
 	}
+	// xferNS is the exposed wall time of one on-demand transfer under the
+	// retry ladder: a stall multiplies the duration, an abort wastes half
+	// the duration plus a doubling backoff per re-issue, and the final rung
+	// is the fault-blind blocking copy. Fault-free it returns dur unchanged.
+	xferNS := func(bytes int64) int64 {
+		dur := e.CM.BatchedXferTime(bytes)
+		var total int64
+		backoff := e.Cfg.Retry.BackoffNS
+		for attempt := 0; ; attempt++ {
+			f := fs.Transfer()
+			if !f.Abort {
+				return total + dur*f.StallFactor
+			}
+			total += dur / 2 // wasted mid-flight time
+			if attempt+1 >= e.Cfg.Retry.MaxAttempts {
+				fs.NoteSyncFallback()
+				return total + dur
+			}
+			fs.NoteRetry(backoff)
+			total += backoff
+			backoff *= 2
+		}
+	}
 	none := sentinel.Block{}
 	prev := none
 	var peak int64
 	for i, b := range blocks {
 		fetch := an.FetchBytes(b, prev)
 		bd.H2DBytes += fetch
-		bd.ExposedXferNS += e.CM.BatchedXferTime(fetch)
+		bd.ExposedXferNS += xferNS(fetch)
 		if i > 0 {
 			evict := an.EvictBytes(blocks[i-1], b.Start)
 			bd.D2HBytes += evict
-			bd.ExposedXferNS += e.CM.BatchedXferTime(evict)
+			bd.ExposedXferNS += xferNS(evict)
 		}
 		bd.FaultNS += e.Cfg.FaultLatencyNS
 		bd.Faults++
@@ -158,7 +293,9 @@ func min64(a, b int64) int64 {
 // SimulatePartition exposes the pipelined double-buffer simulation for a
 // given partition — used by the Fig 12 partition-quality study to execute
 // the even-ops/even-time/even-bytes heuristics under identical runtime
-// semantics.
+// semantics. Always fault-free, so the error branch (capacity exhaustion
+// during evict-and-retry, reachable only with injection) cannot fire.
 func (e *Engine) SimulatePartition(an *sentinel.Analysis, blocks []sentinel.Block) gpusim.Breakdown {
-	return e.simulatePipelined(an, blocks)
+	bd, _ := e.simulatePipelined(an, blocks, nil)
+	return bd
 }

@@ -13,6 +13,7 @@ import (
 	"dynnoffload/internal/baselines"
 	"dynnoffload/internal/core"
 	"dynnoffload/internal/dynn"
+	"dynnoffload/internal/faults"
 	"dynnoffload/internal/gpusim"
 	"dynnoffload/internal/pilot"
 )
@@ -90,6 +91,10 @@ type Options struct {
 	// serially, <0 uses GOMAXPROCS. Results are identical at any setting
 	// (the parallel runtime is deterministic); only wall clock changes.
 	Workers int
+	// Faults configures deterministic fault injection for DyNN-Offload
+	// engines built by the workbench (zero Rate disables it). FaultSweep
+	// ignores this and sweeps its own rates.
+	Faults faults.Config
 }
 
 // DefaultOptions returns CI-scale options.
@@ -221,9 +226,14 @@ func (wb *Workbench) Bench(name string) *ModelBench {
 	return nil
 }
 
-// Engine builds a DyNN-Offload runtime for a bench using the shared pilot.
+// Engine builds a DyNN-Offload runtime for a bench using the shared pilot,
+// applying the workbench's fault-injection options when enabled.
 func (wb *Workbench) Engine(mb *ModelBench) *core.Engine {
-	return core.NewEngine(core.DefaultConfig(mb.Platform), wb.Pilot)
+	cfg := core.DefaultConfig(mb.Platform)
+	if wb.Opts.Faults.Rate > 0 {
+		cfg.Faults = faults.New(wb.Opts.Faults)
+	}
+	return core.NewEngine(cfg, wb.Pilot)
 }
 
 // runEpoch executes an epoch serially or, when Options.Workers is set, on

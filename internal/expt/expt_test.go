@@ -2,6 +2,7 @@ package expt
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -102,19 +103,29 @@ func atoiOr0(s string) int {
 	return n
 }
 
-// testWorkbench builds a tiny shared fixture for the workbench-driven tests.
+var (
+	wbOnce   sync.Once
+	wbShared *Workbench
+	wbErr    error
+)
+
+// testWorkbench builds the tiny shared fixture for the workbench-driven
+// tests once per test binary; drivers only read from it (fresh engines per
+// run), so sharing is safe and keeps the suite fast.
 func testWorkbench(t *testing.T) *Workbench {
 	t.Helper()
-	opts := DefaultOptions()
-	opts.TrainSamples = 200
-	opts.TestSamples = 60
-	opts.Epochs = 6
-	opts.Neurons = 64
-	wb, err := NewWorkbench(opts)
-	if err != nil {
-		t.Fatal(err)
+	wbOnce.Do(func() {
+		opts := DefaultOptions()
+		opts.TrainSamples = 200
+		opts.TestSamples = 60
+		opts.Epochs = 6
+		opts.Neurons = 64
+		wbShared, wbErr = NewWorkbench(opts)
+	})
+	if wbErr != nil {
+		t.Fatal(wbErr)
 	}
-	return wb
+	return wbShared
 }
 
 func TestWorkbenchExperiments(t *testing.T) {

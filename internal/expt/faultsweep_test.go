@@ -1,0 +1,46 @@
+package expt
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestFaultSweepGraceful pins the degradation acceptance bar: at every swept
+// fault rate the pipelined engine's virtual epoch time stays at or below the
+// always-on-demand baseline's — the engine absorbs recovery work behind
+// compute instead of paying it on the critical path — and injection volume
+// grows with the rate.
+func TestFaultSweepGraceful(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workbench construction is expensive")
+	}
+	tab, err := FaultSweep(testWorkbench(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(FaultSweepRates) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(FaultSweepRates))
+	}
+	cell := func(row []string, col int) float64 {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("cell %q: %v", row[col], err)
+		}
+		return v
+	}
+	var prevInjected float64
+	for _, row := range tab.Rows {
+		engMS, odMS := cell(row, 1), cell(row, 3)
+		if engMS > odMS {
+			t.Errorf("rate %s: engine %.1f ms slower than on-demand %.1f ms", row[0], engMS, odMS)
+		}
+		injected := cell(row, 5)
+		if injected < prevInjected {
+			t.Errorf("rate %s: injected %v fell below previous rate's %v", row[0], injected, prevInjected)
+		}
+		prevInjected = injected
+	}
+	if prevInjected == 0 {
+		t.Error("top rate injected nothing — the sweep is vacuous")
+	}
+}

@@ -1,6 +1,24 @@
 package gpusim
 
-import "sort"
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dynnoffload/internal/faults"
+)
+
+// Allocation errors distinguish the two failure modes the degradation ladder
+// handles differently: a transient injected failure clears on retry; no-space
+// requires eviction (or is genuine exhaustion).
+var (
+	// ErrAllocTransient is an injected transient allocation failure; the
+	// caller should retry.
+	ErrAllocTransient = errors.New("gpusim: transient allocation failure")
+	// ErrAllocNoSpace means no contiguous free extent is large enough (even
+	// if total free space would suffice — fragmentation).
+	ErrAllocNoSpace = errors.New("gpusim: no contiguous free extent")
+)
 
 // Allocator is a first-fit address-space allocator over the migration
 // buffer. It exists to justify the runtime's evict-then-prefetch ordering
@@ -13,15 +31,30 @@ type Allocator struct {
 	Capacity int64
 	blocks   map[int64][2]int64 // id -> {offset, size}
 	frees    [][2]int64         // sorted by offset
+
+	fs *faults.Stream
+}
+
+// AllocOption configures NewAllocator.
+type AllocOption func(*Allocator)
+
+// WithAllocFaults attaches the fault stream consulted by TryAlloc at each
+// allocation. A nil stream leaves the allocator fault-free.
+func WithAllocFaults(fs *faults.Stream) AllocOption {
+	return func(a *Allocator) { a.fs = fs }
 }
 
 // NewAllocator creates an allocator over capacity bytes.
-func NewAllocator(capacity int64) *Allocator {
-	return &Allocator{
+func NewAllocator(capacity int64, opts ...AllocOption) *Allocator {
+	a := &Allocator{
 		Capacity: capacity,
 		blocks:   map[int64][2]int64{},
 		frees:    [][2]int64{{0, capacity}},
 	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
 }
 
 // Alloc places a tensor, first-fit. Returns false when no contiguous free
@@ -43,6 +76,23 @@ func (a *Allocator) Alloc(id, size int64) bool {
 		}
 	}
 	return false
+}
+
+// TryAlloc places a tensor first-fit, consulting the attached fault stream.
+// It distinguishes the injected transient failure (ErrAllocTransient — retry)
+// from real fragmentation/exhaustion (ErrAllocNoSpace — evict first). Alloc
+// stays fault-blind, serving as the ladder's final rung.
+func (a *Allocator) TryAlloc(id, size int64) error {
+	if _, dup := a.blocks[id]; dup {
+		return nil
+	}
+	if a.fs.Alloc() {
+		return ErrAllocTransient
+	}
+	if !a.Alloc(id, size) {
+		return fmt.Errorf("gpusim: alloc %d bytes, largest extent %d: %w", size, a.LargestExtent(), ErrAllocNoSpace)
+	}
+	return nil
 }
 
 // Free releases a tensor's extent and coalesces adjacent free extents.

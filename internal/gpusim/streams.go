@@ -1,13 +1,100 @@
 package gpusim
 
+import (
+	"errors"
+
+	"dynnoffload/internal/faults"
+)
+
+// ErrTransferAborted reports an injected mid-flight transfer failure; the
+// enqueued operation did not complete and must be re-issued by the caller.
+var ErrTransferAborted = errors.New("gpusim: transfer aborted")
+
 // Streams tracks the busy-until virtual time of the three hardware queues a
 // policy schedules against. CUDA semantics: operations on one stream are
 // ordered; operations on different streams overlap freely; dependencies are
 // expressed by starting work at the max of the relevant ready times.
+//
+// The zero value is a valid, fault-free stream set. NewStreams with
+// WithFaultStream attaches a deterministic fault stream that Try consults at
+// each transfer; the Run* methods stay fault-blind (they are the final rung
+// of the recovery ladder).
 type Streams struct {
 	Compute int64
 	H2D     int64
 	D2H     int64
+
+	fs *faults.Stream
+}
+
+// StreamOption configures NewStreams.
+type StreamOption func(*Streams)
+
+// WithFaultStream attaches the fault stream consulted by Try at each
+// transfer. A nil stream leaves the Streams fault-free.
+func WithFaultStream(fs *faults.Stream) StreamOption {
+	return func(s *Streams) { s.fs = fs }
+}
+
+// NewStreams builds a stream set from options.
+func NewStreams(opts ...StreamOption) *Streams {
+	s := &Streams{}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Lane names one hardware queue for the lane-generic Run/Try entry points.
+type Lane int
+
+const (
+	LaneCompute Lane = iota
+	LaneH2D
+	LaneD2H
+)
+
+func (l Lane) String() string {
+	switch l {
+	case LaneH2D:
+		return "h2d"
+	case LaneD2H:
+		return "d2h"
+	}
+	return "compute"
+}
+
+func (s *Streams) lane(l Lane) *int64 {
+	switch l {
+	case LaneH2D:
+		return &s.H2D
+	case LaneD2H:
+		return &s.D2H
+	}
+	return &s.Compute
+}
+
+// Run enqueues work on a lane fault-blind: not starting before ready,
+// returning the completion time. It never consults the fault stream, which
+// makes it the guaranteed-to-complete final rung of the recovery ladder.
+func (s *Streams) Run(l Lane, ready, dur int64) int64 {
+	b := s.lane(l)
+	start := max64(*b, ready)
+	*b = start + dur
+	return *b
+}
+
+// Try enqueues a transfer on a lane, consulting the attached fault stream.
+// An injected stall multiplies the duration by the configured factor; an
+// injected abort occupies the lane for half the duration (the wasted
+// mid-flight time) and returns ErrTransferAborted — the caller must
+// re-issue. Without a fault stream Try is exactly Run.
+func (s *Streams) Try(l Lane, ready, dur int64) (int64, error) {
+	f := s.fs.Transfer()
+	if f.Abort {
+		return s.Run(l, ready, dur/2), ErrTransferAborted
+	}
+	return s.Run(l, ready, dur*f.StallFactor), nil
 }
 
 // RunCompute enqueues work of the given duration on the compute stream, not

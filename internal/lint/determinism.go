@@ -12,6 +12,7 @@ import (
 // replay guarantee.
 var DeterministicPackages = []string{
 	"dynnoffload/internal/core",
+	"dynnoffload/internal/faults",
 	"dynnoffload/internal/gpusim",
 	"dynnoffload/internal/sentinel",
 	"dynnoffload/internal/metrics",

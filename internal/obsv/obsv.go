@@ -92,6 +92,37 @@ func (h *Histogram) Snapshot() HistogramStats {
 	return s
 }
 
+// FaultStats mirrors the runtime's fault-injection and recovery counters
+// (defined here rather than imported so obsv keeps zero dependencies on the
+// rest of the repo). All fields are commutative sums.
+type FaultStats struct {
+	Injected          int64 `json:"injected"`
+	TransferStalls    int64 `json:"transfer_stalls"`
+	TransferAborts    int64 `json:"transfer_aborts"`
+	AllocFaults       int64 `json:"alloc_faults"`
+	PrefetchDrops     int64 `json:"prefetch_drops"`
+	Retries           int64 `json:"retries"`
+	BackoffNS         int64 `json:"backoff_ns"`
+	OnDemandFallbacks int64 `json:"on_demand_fallbacks"`
+	EvictRetries      int64 `json:"evict_retries"`
+	SyncFallbacks     int64 `json:"sync_fallbacks"`
+}
+
+// Add returns the element-wise sum.
+func (f FaultStats) Add(o FaultStats) FaultStats {
+	f.Injected += o.Injected
+	f.TransferStalls += o.TransferStalls
+	f.TransferAborts += o.TransferAborts
+	f.AllocFaults += o.AllocFaults
+	f.PrefetchDrops += o.PrefetchDrops
+	f.Retries += o.Retries
+	f.BackoffNS += o.BackoffNS
+	f.OnDemandFallbacks += o.OnDemandFallbacks
+	f.EvictRetries += o.EvictRetries
+	f.SyncFallbacks += o.SyncFallbacks
+	return f
+}
+
 // RunStats is the aggregate view of one run (typically one epoch): throughput,
 // prediction quality, cache behavior, and per-phase latency.
 type RunStats struct {
@@ -104,6 +135,7 @@ type RunStats struct {
 	MispredictRate float64                   `json:"mispredict_rate"`
 	CacheHits      int64                     `json:"cache_hits"`
 	CacheHitRate   float64                   `json:"cache_hit_rate"` // hits / samples
+	Faults         *FaultStats               `json:"faults,omitempty"`
 	Phases         map[string]HistogramStats `json:"phases,omitempty"`
 }
 
@@ -118,6 +150,10 @@ type Recorder struct {
 	samples     atomic.Int64
 	mispredicts atomic.Int64
 	cacheHits   atomic.Int64
+
+	faultMu    sync.Mutex
+	faults     FaultStats
+	faultsSeen bool
 
 	phases sync.Map // string -> *Histogram
 
@@ -164,6 +200,17 @@ func (r *Recorder) ObserveSample(index int, mispredicted, cacheHit bool, totalNS
 	}
 }
 
+// ObserveFaults folds one sample's fault-injection and recovery counters
+// into the run totals. Safe for concurrent use; once called, Snapshot
+// reports a Faults block even if every counter is zero (injection was on but
+// nothing fired).
+func (r *Recorder) ObserveFaults(f FaultStats) {
+	r.faultMu.Lock()
+	r.faults = r.faults.Add(f)
+	r.faultsSeen = true
+	r.faultMu.Unlock()
+}
+
 // Snapshot derives RunStats from the counters so far.
 func (r *Recorder) Snapshot() RunStats {
 	s := RunStats{
@@ -181,6 +228,12 @@ func (r *Recorder) Snapshot() RunStats {
 		s.MispredictRate = float64(s.Mispredicts) / float64(s.Samples)
 		s.CacheHitRate = float64(s.CacheHits) / float64(s.Samples)
 	}
+	r.faultMu.Lock()
+	if r.faultsSeen {
+		f := r.faults
+		s.Faults = &f
+	}
+	r.faultMu.Unlock()
 	r.phases.Range(func(k, v any) bool {
 		if s.Phases == nil {
 			s.Phases = map[string]HistogramStats{}

@@ -1,0 +1,76 @@
+package sentinel
+
+import (
+	"testing"
+
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/graph"
+	"dynnoffload/internal/tensor"
+	"dynnoffload/internal/trace"
+)
+
+// fuzzChain builds a linear chain whose per-op activation and weight sizes
+// come from the fuzz input (low/high nibble of each byte), so working sets
+// vary op to op and block boundaries actually matter.
+func fuzzChain(sizes []byte) *Analysis {
+	var reg tensor.Registry
+	cm := gpusim.NewCostModel(gpusim.RTXPlatform())
+	var states []*graph.WeightState
+	prev := reg.New("in", tensor.Input, tensor.F32, 256)
+	var ops []*graph.Op
+	for i, b := range sizes {
+		actElems := 64 * (int(b&0x0f) + 1)
+		wElems := 64 * (int(b>>4) + 1)
+		w := reg.New("w", tensor.Weight, tensor.F32, wElems)
+		states = append(states, graph.NewWeightState(&reg, w, i%2 == 0))
+		out := reg.New("a", tensor.Activation, tensor.F32, actElems)
+		ops = append(ops, graph.NewOp("matmul", int64(2*actElems*wElems),
+			[]*tensor.Meta{prev, w}, []*tensor.Meta{out}))
+		prev = out
+	}
+	r := &graph.Resolved{ModelName: "fuzz-chain", Ops: ops}
+	it := graph.ExpandTraining(&reg, r, states, true)
+	return NewAnalysis(trace.FromIteration("fuzz-chain", it, cm), cm)
+}
+
+// FuzzPartition drives the Sentinel partitioner with fuzzed op-size chains
+// and budgets spanning infeasible through fits-entirely. The contract: no
+// panics; a nil partition only when some single operator exceeds the budget;
+// a non-nil partition covers [0, NumOps) contiguously exactly once
+// (Validate), every block's working set fits the budget, and the pipeline
+// estimator accepts it.
+func FuzzPartition(f *testing.F) {
+	f.Add([]byte{0x11, 0x22, 0x33, 0x44, 0x55}, uint64(1<<22))
+	f.Add([]byte{0xff, 0x01, 0xf0, 0x0f}, uint64(1<<16))
+	f.Add([]byte{0x88}, uint64(0))
+	f.Add([]byte{0x10, 0x10, 0x10, 0x10, 0x10, 0x10, 0x10, 0x10}, uint64(1<<30))
+	f.Fuzz(func(t *testing.T, sizes []byte, budgetRaw uint64) {
+		if len(sizes) > 24 {
+			sizes = sizes[:24] // cap trace size to keep iterations fast
+		}
+		an := fuzzChain(sizes)
+		n := an.NumOps()
+		total := an.Trace.TotalBytes()
+		budget := int64(budgetRaw % uint64(2*total+1))
+
+		blocks := an.Partition(budget)
+		if blocks == nil {
+			if n > 0 && an.MaxSingleOpBytes() <= budget {
+				t.Fatalf("nil partition although max single-op working set %d fits budget %d",
+					an.MaxSingleOpBytes(), budget)
+			}
+			return
+		}
+		if err := Validate(blocks, n); err != nil {
+			t.Fatalf("partition invalid: %v (blocks %v)", err, blocks)
+		}
+		for i, b := range blocks {
+			if wb := an.WorkingBytes(b); wb > budget {
+				t.Fatalf("block %d working set %d exceeds budget %d", i, wb, budget)
+			}
+		}
+		if totalNS, exposedNS := an.PipelineEstimate(blocks); totalNS < 0 || exposedNS < 0 || exposedNS > totalNS {
+			t.Fatalf("pipeline estimate inconsistent: total %d exposed %d", totalNS, exposedNS)
+		}
+	})
+}
