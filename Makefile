@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 20s
 COVER_MIN ?= 70
 
-.PHONY: build test check race race-full fmt vet lint bench fuzz cover
+.PHONY: build test check race race-full fmt vet lint bench fuzz cover trace
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,15 @@ cover:
 	echo "total coverage: $$total% (minimum $(COVER_MIN)%)"; \
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit !(t+0 >= min+0) }' || \
 		{ echo "coverage below $(COVER_MIN)%"; exit 1; }
+
+# Timeline-tracing smoke: record a small traced epoch, validate the Chrome
+# Trace Event file, and render the overlap report. Leaves trace.json behind
+# for inspection / CI artifact upload.
+trace:
+	$(GO) run ./cmd/dynnbench -trace trace.json -model Tree-LSTM \
+		-train 200 -test 40 -epochs 4 -workers 2
+	$(GO) run ./cmd/dynntrace -check trace.json
+	$(GO) run ./cmd/dynntrace trace.json
 
 # The tier-1 gate: build, vet, formatting, project lint, full tests, and the
 # race pass over the concurrent packages.

@@ -13,10 +13,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
 
+	"dynnoffload/internal/core"
 	"dynnoffload/internal/expt"
 	"dynnoffload/internal/faults"
 	"dynnoffload/internal/obsv"
@@ -24,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1,table2,heuristic,largest,table3,fig7,fig8,fig9,fig10,table4,fig11,fig12,mispred,mispred-handling,overhead,parallel,faultsweep,all")
+		exp       = flag.String("exp", "all", "experiment: table1,table2,heuristic,largest,table3,fig7,fig8,fig9,fig10,table4,fig11,fig12,mispred,mispred-handling,overhead,parallel,faultsweep,overlap,all")
 		train     = flag.Int("train", 0, "pilot-training samples per model (default CI scale)")
 		test      = flag.Int("test", 0, "evaluation samples per model")
 		neurons   = flag.Int("neurons", 0, "pilot hidden width")
@@ -35,6 +37,10 @@ func main() {
 		stats     = flag.String("stats", "", "write per-sample JSONL observability events to this file")
 		statsJSON = flag.String("statsjson", "", "write aggregate per-model RunStats JSON for the parallel experiment to this file")
 		faultSpec = flag.String("faults", "", "deterministic fault injection, e.g. seed=7,rate=0.05[,stall=4]")
+		traceFile = flag.String("trace", "", "run one traced epoch of -model and write a Chrome Trace Event Format JSON file (Perfetto-loadable); skips -exp")
+		model     = flag.String("model", "Tree-LSTM", "zoo model for -trace")
+		traceWall = flag.Bool("tracewall", false, "annotate the -trace spans with wall-clock worker data (trace is then not bit-identical across runs)")
+		serve     = flag.String("serve", "", "serve live Prometheus metrics and net/http/pprof on this address (e.g. :8080) while experiments run, then block")
 	)
 	flag.Parse()
 
@@ -79,10 +85,81 @@ func main() {
 		sink = obsv.NewJSONLSink(f)
 	}
 
-	if err := run(*exp, opts, sink, *statsJSON); err != nil {
+	var reg *obsv.Registry
+	if *serve != "" {
+		reg = obsv.NewRegistry()
+		opts.Metrics = reg
+		go func() {
+			if err := http.ListenAndServe(*serve, obsv.NewServeMux(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "dynnbench: serve:", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("serving /metrics and /debug/pprof on %s\n", *serve)
+	}
+
+	var err error
+	if *traceFile != "" {
+		err = runTrace(*traceFile, *model, opts, *traceWall, reg)
+	} else {
+		err = run(*exp, opts, sink, *statsJSON)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynnbench:", err)
 		os.Exit(1)
 	}
+	if *serve != "" {
+		fmt.Printf("done; still serving on %s (interrupt to exit)\n", *serve)
+		select {}
+	}
+}
+
+// runTrace runs one traced epoch of the named zoo model and writes the span
+// set as a Chrome Trace Event Format file, printing the overlap summary.
+func runTrace(path, model string, opts expt.Options, wall bool, reg *obsv.Registry) error {
+	fmt.Printf("building %s bench + pilot...\n", model)
+	wb, err := expt.NewSingleModelWorkbench(model, opts)
+	if err != nil {
+		return err
+	}
+	mb := wb.Models[0]
+	var topts []obsv.TracerOption
+	if wall {
+		topts = append(topts, obsv.WithWallTime())
+	}
+	tracer := obsv.NewTracer(topts...)
+	rec := obsv.NewRecorder(model, opts.Workers, nil)
+	reg.Register(rec)
+	eng := wb.Engine(mb)
+	workers := opts.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	rep, err := eng.ParallelRunEpoch(mb.Test, core.EpochOptions{Workers: workers, Tracer: tracer, Recorder: rec})
+	if err != nil {
+		return err
+	}
+	spans := tracer.Spans()
+	o := obsv.NewTimeline(spans, mb.Platform.Link.BW).Overlap()
+	rec.SetOverlap(o)
+	rec.Finish()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	meta := obsv.ChromeMeta{Label: model, LinkBWBytesPerSec: mb.Platform.Link.BW, Samples: tracer.SampleCount()}
+	if err := obsv.WriteChromeTrace(f, spans, meta); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d spans (%d samples) to %s\n", len(spans), tracer.SampleCount(), path)
+	fmt.Printf("epoch: %d samples, %d mispredictions; makespan %.3f ms simulated\n",
+		rep.Samples, rep.Mispredictions, float64(o.MakespanNS)/1e6)
+	fmt.Printf("overlap efficiency %.1f%% (hidden %.3f ms / transfer %.3f ms), pcie util %.1f%%\n",
+		o.Efficiency*100, float64(o.HiddenNS)/1e6, float64(o.TransferNS)/1e6, o.PCIeUtil*100)
+	fmt.Println("inspect: dynntrace", path, " — or load into https://ui.perfetto.dev")
+	return nil
 }
 
 func run(exp string, opts expt.Options, sink obsv.Sink, statsJSON string) error {
@@ -92,7 +169,7 @@ func run(exp string, opts expt.Options, sink obsv.Sink, statsJSON string) error 
 	needsWB := map[string]bool{
 		"fig7": true, "fig8": true, "fig9": true, "fig10": true,
 		"mispred": true, "mispred-handling": true, "overhead": true, "fig12": true,
-		"parallel": true, "faultsweep": true,
+		"parallel": true, "faultsweep": true, "overlap": true,
 	}
 	var wb *expt.Workbench
 	getWB := func() (*expt.Workbench, error) {
@@ -109,7 +186,7 @@ func run(exp string, opts expt.Options, sink obsv.Sink, statsJSON string) error 
 	if exp == "all" {
 		names = []string{"table1", "table2", "heuristic", "largest", "table3",
 			"fig7", "fig8", "fig9", "fig10", "table4", "fig11", "fig12",
-			"mispred", "mispred-handling", "overhead", "faultsweep"}
+			"mispred", "mispred-handling", "overhead", "faultsweep", "overlap"}
 	}
 	for _, name := range names {
 		var tab *expt.Table
@@ -157,6 +234,8 @@ func run(exp string, opts expt.Options, sink obsv.Sink, statsJSON string) error 
 				tab, err = expt.Overhead(w)
 			case "faultsweep":
 				tab, err = expt.FaultSweep(w)
+			case "overlap":
+				tab, err = expt.Overlap(w)
 			case "parallel":
 				n := opts.Workers
 				if n <= 1 {

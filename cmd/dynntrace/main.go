@@ -1,0 +1,112 @@
+// Command dynntrace analyzes Chrome Trace Event Format files written by
+// `dynnbench -trace`: it prints the overlap/utilization report derived from
+// the simulated-time span set plus an ASCII stream-occupancy timeline, or
+// validates a file's structure with -check.
+//
+// Usage:
+//
+//	dynntrace trace.json             # overlap report + occupancy timeline
+//	dynntrace -blocks trace.json     # also the per-block breakdown
+//	dynntrace -check trace.json      # validate structure, exit 1 on errors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynnoffload/internal/obsv"
+)
+
+func main() {
+	var (
+		check  = flag.Bool("check", false, "validate the trace file structure and exit")
+		width  = flag.Int("width", 72, "ASCII timeline width in cells")
+		blocks = flag.Bool("blocks", false, "print the per-block critical-path breakdown")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dynntrace [-check] [-blocks] [-width N] trace.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *check, *blocks, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "dynntrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, check, blocks bool, width int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	if check {
+		if err := obsv.CheckChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid Chrome Trace Event Format\n", path)
+		return nil
+	}
+
+	spans, meta, err := obsv.ReadChromeTrace(f)
+	if err != nil {
+		return err
+	}
+	obsv.SortSpans(spans)
+	tl := obsv.NewTimeline(spans, meta.LinkBWBytesPerSec)
+	o := tl.Overlap()
+
+	if meta.Label != "" {
+		fmt.Printf("trace: %s (%d samples, %d spans)\n", meta.Label, meta.Samples, len(spans))
+	} else {
+		fmt.Printf("trace: %d spans\n", len(spans))
+	}
+	fmt.Printf("makespan   %12.3f ms simulated\n", msf(o.MakespanNS))
+	fmt.Printf("compute    %12.3f ms\n", msf(o.ComputeNS))
+	fmt.Printf("transfer   %12.3f ms  (%.1f MB over the link)\n", msf(o.TransferNS), float64(o.TransferBytes)/(1<<20))
+	fmt.Printf("  hidden   %12.3f ms  under compute\n", msf(o.HiddenNS))
+	fmt.Printf("  exposed  %12.3f ms  on the critical path\n", msf(o.ExposedNS))
+	fmt.Printf("overlap efficiency %.1f%%", o.Efficiency*100)
+	if meta.LinkBWBytesPerSec > 0 {
+		fmt.Printf(", pcie utilization %.1f%%", o.PCIeUtil*100)
+	}
+	fmt.Println()
+	fmt.Println()
+	fmt.Println("stream     busy-ms      util   idle-gap p50/p99")
+	for _, lane := range []string{obsv.LaneCompute, obsv.LaneH2D, obsv.LaneD2H} {
+		g := o.IdleGaps[lane]
+		fmt.Printf("%-8s %9.3f  %7.1f%%   %s / %s\n",
+			lane, msf(o.LaneBusyNS[lane]), o.LaneUtil[lane]*100, nsUnit(g.P50NS), nsUnit(g.P99NS))
+	}
+	fmt.Println()
+	tl.ASCII(os.Stdout, width)
+
+	if blocks {
+		fmt.Println()
+		fmt.Println("block  compute-ms  prefetch-ms  evict-ms  ondemand-ms  retry-ms  stall-ms  spans")
+		for _, c := range tl.Blocks() {
+			fmt.Printf("%5d  %10.3f  %11.3f  %8.3f  %11.3f  %8.3f  %8.3f  %5d\n",
+				c.Block, msf(c.ComputeNS), msf(c.PrefetchNS), msf(c.EvictNS),
+				msf(c.OnDemandNS), msf(c.RetryNS), msf(c.StallNS), c.Spans)
+		}
+	}
+	return nil
+}
+
+func msf(ns int64) float64 { return float64(ns) / 1e6 }
+
+// nsUnit renders a duration with a readable unit (gaps span ns to ms).
+func nsUnit(ns int64) string {
+	switch {
+	case ns == 0:
+		return "-"
+	case ns < 1_000:
+		return fmt.Sprintf("%dns", ns)
+	case ns < 1_000_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"dynnoffload/internal/faults"
 	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/obsv"
 	"dynnoffload/internal/pilot"
 )
 
@@ -234,14 +235,14 @@ func (e *Engine) faultStream(ex *pilot.Example) *faults.Stream {
 
 // simulate executes the decided sample: double-buffered prefetch on a correct
 // prediction, on-demand fallback on a mis-prediction. Read-only on the
-// engine; safe to run concurrently (each call gets its own fault stream).
-// The error is non-nil only when the degradation ladder is genuinely stuck
-// (ErrCapacityExceeded) — never in fault-free runs.
-func (e *Engine) simulate(d decision, fs *faults.Stream) (gpusim.Breakdown, error) {
+// engine; safe to run concurrently (each call gets its own fault stream and
+// trace collector). The error is non-nil only when the degradation ladder is
+// genuinely stuck (ErrCapacityExceeded) — never in fault-free runs.
+func (e *Engine) simulate(d decision, fs *faults.Stream, st *obsv.SampleTrace) (gpusim.Breakdown, error) {
 	if d.mispredicted || e.Cfg.ForceOnDemand {
-		return e.simulateOnDemand(d.truth.Analysis, d.truth.Blocks, fs), nil
+		return e.simulateOnDemand(d.truth.Analysis, d.truth.Blocks, fs, st), nil
 	}
-	return e.simulatePipelined(d.truth.Analysis, d.truth.Blocks, fs)
+	return e.simulatePipelined(d.truth.Analysis, d.truth.Blocks, fs, st)
 }
 
 // RunSample simulates one training iteration: pilot inference, output→path
@@ -251,6 +252,15 @@ func (e *Engine) simulate(d decision, fs *faults.Stream) (gpusim.Breakdown, erro
 // depends on scheduling — use ParallelRunEpoch for deterministic epoch
 // aggregates.
 func (e *Engine) RunSample(ex *pilot.Example) (SampleResult, error) {
+	return e.RunSampleTraced(ex, nil)
+}
+
+// RunSampleTraced is RunSample with span tracing: the sample's pilot
+// prediction, block prefetches, compute intervals, evictions, on-demand
+// fetches, and fault retries are recorded into st on the simulated clock.
+// A nil st disables tracing (all trace methods are nil-safe no-ops), so
+// RunSample pays nothing for the instrumentation.
+func (e *Engine) RunSampleTraced(ex *pilot.Example, st *obsv.SampleTrace) (SampleResult, error) {
 	var res SampleResult
 	if e.Pilot == nil {
 		return res, ErrPilotNotTrained
@@ -265,6 +275,10 @@ func (e *Engine) RunSample(ex *pilot.Example) (SampleResult, error) {
 	}
 	res.PilotNS = resolution.InferNS
 	res.MappingNS = resolution.MapNS
+	// Pilot inference and mapping run on the host in wall time, outside the
+	// DES clocks — they trace as simulated-time instants (see SpanPilot).
+	st.Instant(obsv.SpanPilot, res.PilotNS)
+	st.Instant(obsv.SpanMapping, res.MappingNS)
 
 	d, err := e.decide(ex, &resolution)
 	if err != nil {
@@ -272,8 +286,9 @@ func (e *Engine) RunSample(ex *pilot.Example) (SampleResult, error) {
 	}
 	res.Mispredicted = d.mispredicted
 	res.CacheHit = d.cacheHit
+	st.Outcome(d.mispredicted, d.cacheHit)
 	fs := e.faultStream(ex)
-	res.Breakdown, err = e.simulate(d, fs)
+	res.Breakdown, err = e.simulate(d, fs, st)
 	if err != nil {
 		return res, err
 	}

@@ -16,6 +16,10 @@ type EpochOptions struct {
 	// Recorder, when non-nil, receives per-phase timings ("pilot",
 	// "mapping", "simulate") and per-sample outcomes.
 	Recorder *obsv.Recorder
+	// Tracer, when non-nil, collects per-sample span traces on the simulated
+	// clock. The resulting span set is bit-identical at any worker count
+	// unless the tracer runs in wall mode.
+	Tracer *obsv.Tracer
 }
 
 // Observability phase names recorded by ParallelRunEpoch.
@@ -64,7 +68,7 @@ func (e *Engine) ParallelRunEpoch(examples []*pilot.Example, opts EpochOptions) 
 	// and the lowest-index one wins below, matching serial order.
 	resolutions := make([]pilot.Resolution, len(examples))
 	resolveErrs := make([]error, len(examples))
-	fanOut(len(examples), workers, func(i int) {
+	fanOut(len(examples), workers, func(i, _ int) {
 		resolutions[i], resolveErrs[i] = e.Pilot.Resolve(examples[i])
 		if rec != nil && resolveErrs[i] == nil {
 			rec.ObservePhase(PhasePilot, resolutions[i].InferNS)
@@ -104,16 +108,23 @@ func (e *Engine) ParallelRunEpoch(examples []*pilot.Example, opts EpochOptions) 
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		fanOut(n, workers, func(i int) {
+		fanOut(n, workers, func(i, w int) {
 			var res SampleResult
 			res.PilotNS = resolutions[i].InferNS
 			res.MappingNS = resolutions[i].MapNS
 			res.Mispredicted = decisions[i].mispredicted
 			res.CacheHit = decisions[i].cacheHit
+			st := opts.Tracer.Sample(i)
+			st.SetWorker(w)
+			st.StartWall()
+			st.Instant(obsv.SpanPilot, res.PilotNS)
+			st.Instant(obsv.SpanMapping, res.MappingNS)
+			st.Outcome(res.Mispredicted, res.CacheHit)
 			simSW := obsv.StartTimer()
 			fs := e.faultStream(examples[i])
 			var err error
-			res.Breakdown, err = e.simulate(decisions[i], fs)
+			res.Breakdown, err = e.simulate(decisions[i], fs, st)
+			st.StopWall()
 			if err != nil {
 				simErrs[i] = err
 				return
@@ -163,11 +174,13 @@ func faultStats(c faults.Counters) obsv.FaultStats {
 	}
 }
 
-// fanOut runs fn(i) for i in [0, n) across a pool of workers.
-func fanOut(n, workers int, fn func(i int)) {
+// fanOut runs fn(i, worker) for i in [0, n) across a pool of workers. The
+// worker index is observability metadata only (trace tagging in wall mode);
+// nothing deterministic may depend on it.
+func fanOut(n, workers int, fn func(i, worker int)) {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, 0)
 		}
 		return
 	}
@@ -175,12 +188,12 @@ func fanOut(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				fn(i, w)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		idx <- i

@@ -5,6 +5,7 @@ import (
 
 	"dynnoffload/internal/faults"
 	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/obsv"
 	"dynnoffload/internal/sentinel"
 )
 
@@ -13,21 +14,30 @@ import (
 // clock, then a final fault-blind blocking copy that always completes.
 // Returns the completion time; fault-free it is exactly Streams.Run, so the
 // no-injection arithmetic is bit-identical to the pre-fault engine.
-func (e *Engine) xfer(s *gpusim.Streams, lane gpusim.Lane, fs *faults.Stream, ready, dur int64) int64 {
-	end, err := s.Try(lane, ready, dur)
+//
+// When st is non-nil the transfer is traced: each aborted attempt becomes a
+// retry span covering its wasted lane occupancy, and the completing issue a
+// span of the given kind. Tracing is read-only on the DES clocks.
+func (e *Engine) xfer(s *gpusim.Streams, lane gpusim.Lane, fs *faults.Stream, ready, dur int64,
+	st *obsv.SampleTrace, kind obsv.SpanKind, block int, bytes int64) int64 {
+	start, end, err := s.TrySpan(lane, ready, dur)
 	backoff := e.Cfg.Retry.BackoffNS
-	for attempt := 1; err != nil && attempt < e.Cfg.Retry.MaxAttempts; attempt++ {
+	attempt := 1
+	for ; err != nil && attempt < e.Cfg.Retry.MaxAttempts; attempt++ {
+		st.Retry(lane.String(), block, start, end-start, bytes, attempt)
 		fs.NoteRetry(backoff)
-		end, err = s.Try(lane, end+backoff, dur)
+		start, end, err = s.TrySpan(lane, end+backoff, dur)
 		backoff *= 2
 	}
 	if err != nil {
 		// Retry budget exhausted: degrade to the blocking synchronous copy,
 		// which never consults the injector and therefore always completes —
 		// the property that keeps rate-1.0 runs terminating.
+		st.Retry(lane.String(), block, start, end-start, bytes, attempt)
 		fs.NoteSyncFallback()
-		end = s.Run(lane, end, dur)
+		start, end = s.RunSpan(lane, end, dur)
 	}
+	st.Span(kind, lane.String(), block, start, end-start, bytes)
 	return end
 }
 
@@ -50,7 +60,7 @@ func (e *Engine) xfer(s *gpusim.Streams, lane gpusim.Lane, fs *faults.Stream, re
 // the tensor-fault handler round trip. Faults perturb timing and traffic
 // only; the returned error is non-nil solely when eviction cannot free
 // enough space (genuine capacity exhaustion).
-func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Block, fs *faults.Stream) (gpusim.Breakdown, error) {
+func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Block, fs *faults.Stream, st *obsv.SampleTrace) (gpusim.Breakdown, error) {
 	var bd gpusim.Breakdown
 	if len(blocks) == 0 {
 		return bd, nil
@@ -62,6 +72,14 @@ func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Bloc
 	if an.PeakResidentBytes() <= e.Cfg.Platform.GPU.MemBytes {
 		bd.ComputeNS = an.TotalComputeNS()
 		bd.PeakGPUBytes = an.PeakResidentBytes()
+		if st != nil {
+			var cursor int64
+			for i := range blocks {
+				c := an.ComputeNS(blocks[i])
+				st.Span(obsv.SpanCompute, obsv.LaneCompute, i, cursor, c, 0)
+				cursor += c
+			}
+		}
 		return bd, nil
 	}
 
@@ -76,13 +94,14 @@ func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Bloc
 	// Returns the migration clock advanced by backoff waits and eviction
 	// transfers. Fault-free it reduces to the plain residency update with
 	// unchanged timing.
-	addAll := func(ids []int64, ready int64) (int64, error) {
+	addAll := func(ids []int64, ready int64, block int) (int64, error) {
 		for _, id := range ids {
 			bytes := an.BytesOf(id)
 			if fs.Alloc() {
 				// Transient allocator pressure: wait it out on the DES clock.
 				backoff := e.Cfg.Retry.BackoffNS
 				for attempt := 1; attempt < e.Cfg.Retry.MaxAttempts; attempt++ {
+					st.Retry(obsv.LaneHost, block, ready, backoff, 0, attempt)
 					fs.NoteRetry(backoff)
 					ready += backoff
 					backoff *= 2
@@ -113,7 +132,8 @@ func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Bloc
 			}
 			if evicted > 0 {
 				bd.D2HBytes += evicted
-				ready = e.xfer(streams, gpusim.LaneD2H, fs, ready, e.CM.BatchedXferTime(evicted))
+				ready = e.xfer(streams, gpusim.LaneD2H, fs, ready, e.CM.BatchedXferTime(evicted),
+					st, obsv.SpanEvict, block, evicted)
 			}
 			fs.NoteEvictRetry()
 			if err := pool.Add(id, bytes); err != nil {
@@ -132,10 +152,11 @@ func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Bloc
 	// Initial prefetch of block 0 — inherently synchronous (compute cannot
 	// start without it), so only stalls/aborts apply, not prefetch-drop.
 	fetch0 := an.FetchBytes(blocks[0], none)
-	mig := e.xfer(streams, gpusim.LaneH2D, fs, 0, e.CM.BatchedXferTime(fetch0))
+	mig := e.xfer(streams, gpusim.LaneH2D, fs, 0, e.CM.BatchedXferTime(fetch0),
+		st, obsv.SpanPrefetch, 0, fetch0)
 	bd.H2DBytes += fetch0
 	var err error
-	if mig, err = addAll(an.WorkingIDs(blocks[0]), mig); err != nil {
+	if mig, err = addAll(an.WorkingIDs(blocks[0]), mig, 0); err != nil {
 		return bd, err
 	}
 
@@ -152,12 +173,14 @@ func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Bloc
 			// tensors are not resident at block start. Fetch on demand —
 			// fully exposed on the critical path — and pay the tensor-fault
 			// handler round trip, exactly like a mis-predicted sample would.
-			start = e.xfer(streams, gpusim.LaneH2D, fs, start, e.CM.BatchedXferTime(droppedBytes))
+			start = e.xfer(streams, gpusim.LaneH2D, fs, start, e.CM.BatchedXferTime(droppedBytes),
+				st, obsv.SpanOnDemand, i, droppedBytes)
 			bd.H2DBytes += droppedBytes
 			bd.FaultNS += e.Cfg.FaultLatencyNS
 			bd.Faults++
+			st.Span(obsv.SpanFault, obsv.LaneHost, i, start, e.Cfg.FaultLatencyNS, 0)
 			fs.NoteOnDemandFallback()
-			if start, err = addAll(an.WorkingIDs(blocks[i]), start); err != nil {
+			if start, err = addAll(an.WorkingIDs(blocks[i]), start, i); err != nil {
 				return bd, err
 			}
 		}
@@ -172,7 +195,8 @@ func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Bloc
 			migStart := max64(mig, start)
 			if i > 0 {
 				evict := an.EvictBytes(blocks[i-1], blocks[i+1].Start)
-				migStart = e.xfer(streams, gpusim.LaneD2H, fs, migStart, e.CM.BatchedXferTime(evict))
+				migStart = e.xfer(streams, gpusim.LaneD2H, fs, migStart, e.CM.BatchedXferTime(evict),
+					st, obsv.SpanEvict, i-1, evict)
 				bd.D2HBytes += evict
 				dropAll(an.WorkingIDs(blocks[i-1]))
 			}
@@ -184,15 +208,17 @@ func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Bloc
 				mig = migStart
 			} else {
 				dropped = false
-				mig = e.xfer(streams, gpusim.LaneH2D, fs, migStart, e.CM.BatchedXferTime(fetch))
+				mig = e.xfer(streams, gpusim.LaneH2D, fs, migStart, e.CM.BatchedXferTime(fetch),
+					st, obsv.SpanPrefetch, i+1, fetch)
 				bd.H2DBytes += fetch
-				if mig, err = addAll(an.WorkingIDs(blocks[i+1]), mig); err != nil {
+				if mig, err = addAll(an.WorkingIDs(blocks[i+1]), mig, i+1); err != nil {
 					return bd, err
 				}
 			}
 		}
 
 		blockCompute := an.ComputeNS(blocks[i])
+		st.Span(obsv.SpanCompute, obsv.LaneCompute, i, start, blockCompute, 0)
 		bd.ComputeNS += blockCompute
 		computeEnd = start + blockCompute
 	}
@@ -219,7 +245,7 @@ func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Bloc
 // demand"). Injected faults stretch the exposed transfers (stall) or force
 // re-issues with backoff (abort); the path is already fully on-demand, so
 // prefetch-drop and allocation faults have nothing further to degrade.
-func (e *Engine) simulateOnDemand(an *sentinel.Analysis, blocks []sentinel.Block, fs *faults.Stream) gpusim.Breakdown {
+func (e *Engine) simulateOnDemand(an *sentinel.Analysis, blocks []sentinel.Block, fs *faults.Stream, st *obsv.SampleTrace) gpusim.Breakdown {
 	var bd gpusim.Breakdown
 	if an.PeakResidentBytes() <= e.Cfg.Platform.GPU.MemBytes {
 		// Fits on GPU: the wrong prediction costs only the fault round trip.
@@ -227,24 +253,42 @@ func (e *Engine) simulateOnDemand(an *sentinel.Analysis, blocks []sentinel.Block
 		bd.FaultNS = e.Cfg.FaultLatencyNS
 		bd.Faults = 1
 		bd.PeakGPUBytes = an.PeakResidentBytes()
+		if st != nil {
+			cursor := e.Cfg.FaultLatencyNS
+			st.Span(obsv.SpanFault, obsv.LaneHost, 0, 0, cursor, 0)
+			for i := range blocks {
+				c := an.ComputeNS(blocks[i])
+				st.Span(obsv.SpanCompute, obsv.LaneCompute, i, cursor, c, 0)
+				cursor += c
+			}
+		}
 		return bd
 	}
+	// The on-demand path is fully serial — every transfer is exposed on the
+	// critical path — so spans lie on one advancing cursor rather than on
+	// per-lane clocks.
+	var cursor int64
 	// xferNS is the exposed wall time of one on-demand transfer under the
 	// retry ladder: a stall multiplies the duration, an abort wastes half
 	// the duration plus a doubling backoff per re-issue, and the final rung
 	// is the fault-blind blocking copy. Fault-free it returns dur unchanged.
-	xferNS := func(bytes int64) int64 {
+	// Aborted attempts trace as retry spans, the completing issue as kind.
+	xferNS := func(kind obsv.SpanKind, lane string, block int, bytes int64) int64 {
 		dur := e.CM.BatchedXferTime(bytes)
 		var total int64
 		backoff := e.Cfg.Retry.BackoffNS
 		for attempt := 0; ; attempt++ {
 			f := fs.Transfer()
 			if !f.Abort {
-				return total + dur*f.StallFactor
+				d := dur * f.StallFactor
+				st.Span(kind, lane, block, cursor+total, d, bytes)
+				return total + d
 			}
+			st.Retry(lane, block, cursor+total, dur/2, bytes, attempt+1)
 			total += dur / 2 // wasted mid-flight time
 			if attempt+1 >= e.Cfg.Retry.MaxAttempts {
 				fs.NoteSyncFallback()
+				st.Span(kind, lane, block, cursor+total, dur, bytes)
 				return total + dur
 			}
 			fs.NoteRetry(backoff)
@@ -258,15 +302,24 @@ func (e *Engine) simulateOnDemand(an *sentinel.Analysis, blocks []sentinel.Block
 	for i, b := range blocks {
 		fetch := an.FetchBytes(b, prev)
 		bd.H2DBytes += fetch
-		bd.ExposedXferNS += xferNS(fetch)
+		d := xferNS(obsv.SpanOnDemand, obsv.LaneH2D, i, fetch)
+		bd.ExposedXferNS += d
+		cursor += d
 		if i > 0 {
 			evict := an.EvictBytes(blocks[i-1], b.Start)
 			bd.D2HBytes += evict
-			bd.ExposedXferNS += xferNS(evict)
+			d = xferNS(obsv.SpanEvict, obsv.LaneD2H, i-1, evict)
+			bd.ExposedXferNS += d
+			cursor += d
 		}
 		bd.FaultNS += e.Cfg.FaultLatencyNS
 		bd.Faults++
-		bd.ComputeNS += an.ComputeNS(b)
+		st.Span(obsv.SpanFault, obsv.LaneHost, i, cursor, e.Cfg.FaultLatencyNS, 0)
+		cursor += e.Cfg.FaultLatencyNS
+		blockCompute := an.ComputeNS(b)
+		st.Span(obsv.SpanCompute, obsv.LaneCompute, i, cursor, blockCompute, 0)
+		cursor += blockCompute
+		bd.ComputeNS += blockCompute
 		if w := an.WorkingBytes(b); w > peak {
 			peak = w
 		}
@@ -296,6 +349,6 @@ func min64(a, b int64) int64 {
 // semantics. Always fault-free, so the error branch (capacity exhaustion
 // during evict-and-retry, reachable only with injection) cannot fire.
 func (e *Engine) SimulatePartition(an *sentinel.Analysis, blocks []sentinel.Block) gpusim.Breakdown {
-	bd, _ := e.simulatePipelined(an, blocks, nil)
+	bd, _ := e.simulatePipelined(an, blocks, nil, nil)
 	return bd
 }

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dynnoffload/internal/faults"
+	"dynnoffload/internal/obsv"
+)
+
+// traceSchedule runs one fresh-engine traced epoch and returns the canonical
+// simulated-time span set.
+func traceSchedule(t *testing.T, b *propBench, fc faults.Config, workers int) []obsv.Span {
+	t.Helper()
+	cfg := DefaultConfig(b.plat)
+	if fc.Rate > 0 {
+		cfg.Faults = faults.New(fc)
+	}
+	eng := NewEngine(cfg, b.p)
+	tracer := obsv.NewTracer()
+	if _, err := eng.ParallelRunEpoch(b.test, EpochOptions{Workers: workers, Tracer: tracer}); err != nil {
+		t.Fatalf("%s: traced epoch %+v workers=%d: %v", b.name, fc, workers, err)
+	}
+	return tracer.Spans()
+}
+
+// TestTraceBitIdenticalAcrossWorkers pins the tracing determinism contract:
+// the simulated-time span set — every field of every span, in order — is
+// bit-identical at 1, 2, 4, and 8 workers, fault-free and under injection.
+func TestTraceBitIdenticalAcrossWorkers(t *testing.T) {
+	for _, b := range propModels(t) {
+		for _, fc := range []faults.Config{{}, {Seed: 11, Rate: 0.2}} {
+			ref := traceSchedule(t, b, fc, 1)
+			if len(ref) == 0 {
+				t.Fatalf("%s: %+v: empty span set — tracing is not exercising the engine", b.name, fc)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				got := traceSchedule(t, b, fc, workers)
+				if !reflect.DeepEqual(got, ref) {
+					i := 0
+					for i < len(got) && i < len(ref) && got[i] == ref[i] {
+						i++
+					}
+					t.Fatalf("%s: %+v: span set diverges at %d workers (len %d vs %d, first diff at span %d)",
+						b.name, fc, workers, len(got), len(ref), i)
+				}
+			}
+		}
+	}
+}
+
+// computeKey identifies a compute span independent of its timeline position.
+type computeKey struct {
+	sample, block int
+	durNS         int64
+}
+
+// TestFaultsAddRetrySpansPreserveCompute pins how injection shows up in a
+// trace: faulted runs gain retry spans (absent fault-free), while the compute
+// work itself — the multiset of per-(sample, block) compute durations — is
+// identical to the fault-free trace. (Compute *start* times legitimately
+// shift when a stalled prefetch delays its dependent block; the durations and
+// the set of blocks computed never do.)
+func TestFaultsAddRetrySpansPreserveCompute(t *testing.T) {
+	computeSet := func(spans []obsv.Span) map[computeKey]int {
+		set := map[computeKey]int{}
+		for _, sp := range spans {
+			if sp.Kind == obsv.SpanCompute {
+				set[computeKey{sp.Sample, sp.Block, sp.DurNS}]++
+			}
+		}
+		return set
+	}
+	countKind := func(spans []obsv.Span, kind obsv.SpanKind) int {
+		n := 0
+		for _, sp := range spans {
+			if sp.Kind == kind {
+				n++
+			}
+		}
+		return n
+	}
+	var retries int
+	for _, b := range propModels(t) {
+		free := traceSchedule(t, b, faults.Config{}, 1)
+		faulted := traceSchedule(t, b, faults.Config{Seed: 5, Rate: 0.3}, 1)
+		if n := countKind(free, obsv.SpanRetry); n != 0 {
+			t.Fatalf("%s: fault-free trace has %d retry spans", b.name, n)
+		}
+		retries += countKind(faulted, obsv.SpanRetry)
+		freeSet, faultedSet := computeSet(free), computeSet(faulted)
+		if !reflect.DeepEqual(freeSet, faultedSet) {
+			t.Fatalf("%s: injection changed the compute-span multiset (%d vs %d distinct keys)",
+				b.name, len(freeSet), len(faultedSet))
+		}
+	}
+	if retries == 0 {
+		t.Error("rate-0.3 schedules produced no retry spans across 5 models — the property is vacuous")
+	}
+}
+
+// TestTraceMatchesEpochAggregates cross-checks the span set against the
+// engine's own accounting on one model: summed compute-span durations equal
+// the epoch's ComputeNS, and transfer-span bytes equal H2D+D2H traffic.
+func TestTraceMatchesEpochAggregates(t *testing.T) {
+	b := propModels(t)[0]
+	cfg := DefaultConfig(b.plat)
+	eng := NewEngine(cfg, b.p)
+	tracer := obsv.NewTracer()
+	rep, err := eng.ParallelRunEpoch(b.test, EpochOptions{Workers: 3, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computeNS, xferBytes int64
+	for _, sp := range tracer.Spans() {
+		switch {
+		case sp.Kind == obsv.SpanCompute:
+			computeNS += sp.DurNS
+		case sp.Lane == obsv.LaneH2D || sp.Lane == obsv.LaneD2H:
+			xferBytes += sp.Bytes
+		}
+	}
+	if computeNS != rep.Breakdown.ComputeNS {
+		t.Errorf("compute spans sum to %d ns, epoch reports %d", computeNS, rep.Breakdown.ComputeNS)
+	}
+	if want := rep.Breakdown.H2DBytes + rep.Breakdown.D2HBytes; xferBytes != want {
+		t.Errorf("transfer spans carry %d bytes, epoch reports %d", xferBytes, want)
+	}
+	if n := tracer.SampleCount(); n != rep.Samples {
+		t.Errorf("tracer holds %d samples, epoch reports %d", n, rep.Samples)
+	}
+}

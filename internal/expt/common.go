@@ -15,6 +15,7 @@ import (
 	"dynnoffload/internal/dynn"
 	"dynnoffload/internal/faults"
 	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/obsv"
 	"dynnoffload/internal/pilot"
 )
 
@@ -95,6 +96,9 @@ type Options struct {
 	// engines built by the workbench (zero Rate disables it). FaultSweep
 	// ignores this and sweeps its own rates.
 	Faults faults.Config
+	// Metrics, when non-nil, receives every Recorder the experiment drivers
+	// create, for live Prometheus exposition (dynnbench -serve).
+	Metrics *obsv.Registry
 }
 
 // DefaultOptions returns CI-scale options.

@@ -49,13 +49,16 @@ func ParallelSpeedup(wb *Workbench, workers int, sink obsv.Sink) (*Table, []obsv
 
 		parNEng := wb.Engine(mb)
 		rec := obsv.NewRecorder(mb.Entry.Name, workers, sink)
+		wb.Opts.Metrics.Register(rec)
+		tracer := obsv.NewTracer()
 		tN := time.Now()
-		parNRep, err := parNEng.ParallelRunEpoch(mb.Test, core.EpochOptions{Workers: workers, Recorder: rec})
+		parNRep, err := parNEng.ParallelRunEpoch(mb.Test, core.EpochOptions{Workers: workers, Recorder: rec, Tracer: tracer})
 		parNWall := time.Since(tN)
 		if err != nil {
 			tab.Rows = append(tab.Rows, []string{mb.Entry.Name, "-", "error: " + err.Error()})
 			continue
 		}
+		rec.SetOverlap(obsv.NewTimeline(tracer.Spans(), mb.Platform.Link.BW).Overlap())
 		stats := rec.Finish()
 		allStats = append(allStats, stats)
 

@@ -26,6 +26,22 @@ func (b Breakdown) TotalNS() int64 {
 	return b.ComputeNS + b.ExposedXferNS + b.RematNS + b.FaultNS + b.OverheadNS
 }
 
+// TransferNS is the total migration time, hidden and exposed.
+func (b Breakdown) TransferNS() int64 {
+	return b.OverlapXferNS + b.ExposedXferNS
+}
+
+// OverlapEfficiency is the fraction of migration time hidden under compute
+// (0 when nothing migrated). This is the batch-level accounting view; the
+// span-level obsv.Timeline measures the same quantity from busy intervals.
+func (b Breakdown) OverlapEfficiency() float64 {
+	t := b.TransferNS()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.OverlapXferNS) / float64(t)
+}
+
 // Add accumulates another breakdown (e.g. per-iteration into per-epoch).
 func (b Breakdown) Add(o Breakdown) Breakdown {
 	b.ComputeNS += o.ComputeNS

@@ -78,10 +78,18 @@ func (s *Streams) lane(l Lane) *int64 {
 // returning the completion time. It never consults the fault stream, which
 // makes it the guaranteed-to-complete final rung of the recovery ladder.
 func (s *Streams) Run(l Lane, ready, dur int64) int64 {
+	_, end := s.RunSpan(l, ready, dur)
+	return end
+}
+
+// RunSpan is Run exposing the occupied interval: it returns both the time
+// the work actually began (max of lane busy-until and ready) and the
+// completion time, so callers can record [start, end) busy spans.
+func (s *Streams) RunSpan(l Lane, ready, dur int64) (start, end int64) {
 	b := s.lane(l)
-	start := max64(*b, ready)
+	start = max64(*b, ready)
 	*b = start + dur
-	return *b
+	return start, *b
 }
 
 // Try enqueues a transfer on a lane, consulting the attached fault stream.
@@ -90,33 +98,39 @@ func (s *Streams) Run(l Lane, ready, dur int64) int64 {
 // mid-flight time) and returns ErrTransferAborted — the caller must
 // re-issue. Without a fault stream Try is exactly Run.
 func (s *Streams) Try(l Lane, ready, dur int64) (int64, error) {
+	_, end, err := s.TrySpan(l, ready, dur)
+	return end, err
+}
+
+// TrySpan is Try exposing the occupied interval (see RunSpan). On an
+// injected abort the returned span covers the wasted mid-flight time.
+func (s *Streams) TrySpan(l Lane, ready, dur int64) (start, end int64, err error) {
 	f := s.fs.Transfer()
 	if f.Abort {
-		return s.Run(l, ready, dur/2), ErrTransferAborted
+		start, end = s.RunSpan(l, ready, dur/2)
+		return start, end, ErrTransferAborted
 	}
-	return s.Run(l, ready, dur*f.StallFactor), nil
+	start, end = s.RunSpan(l, ready, dur*f.StallFactor)
+	return start, end, nil
 }
+
+// Busy returns the lane's busy-until virtual time.
+func (s *Streams) Busy(l Lane) int64 { return *s.lane(l) }
 
 // RunCompute enqueues work of the given duration on the compute stream, not
 // starting before ready. Returns the completion time.
 func (s *Streams) RunCompute(ready, dur int64) int64 {
-	start := max64(s.Compute, ready)
-	s.Compute = start + dur
-	return s.Compute
+	return s.Run(LaneCompute, ready, dur)
 }
 
 // RunH2D enqueues a host-to-device transfer.
 func (s *Streams) RunH2D(ready, dur int64) int64 {
-	start := max64(s.H2D, ready)
-	s.H2D = start + dur
-	return s.H2D
+	return s.Run(LaneH2D, ready, dur)
 }
 
 // RunD2H enqueues a device-to-host transfer.
 func (s *Streams) RunD2H(ready, dur int64) int64 {
-	start := max64(s.D2H, ready)
-	s.D2H = start + dur
-	return s.D2H
+	return s.Run(LaneD2H, ready, dur)
 }
 
 // Now returns the latest completion time across all streams.

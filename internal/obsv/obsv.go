@@ -43,13 +43,21 @@ func (h *Histogram) Observe(ns int64) {
 }
 
 // HistogramStats is an immutable snapshot of a Histogram.
+//
+// Every quantile field (P50NS..P999NS) is the *upper bound* of the
+// power-of-two bucket holding that quantile — i.e. the smallest 2^i ≥ the
+// true value (1 for sub-nanosecond observations) — so quantiles
+// over-estimate by at most 2x and are always an exact power of two. A
+// quantile that falls past the last occupied bucket reports MaxNS.
 type HistogramStats struct {
 	Count   int64   `json:"count"`
 	SumNS   int64   `json:"sum_ns"`
 	MeanNS  int64   `json:"mean_ns"`
 	MaxNS   int64   `json:"max_ns"`
 	P50NS   int64   `json:"p50_ns"` // bucket upper bound — ~2x resolution
+	P90NS   int64   `json:"p90_ns"`
 	P99NS   int64   `json:"p99_ns"`
+	P999NS  int64   `json:"p999_ns"`
 	Buckets []int64 `json:"buckets,omitempty"` // count per power-of-two bucket
 }
 
@@ -79,7 +87,9 @@ func (h *Histogram) Snapshot() HistogramStats {
 	}
 	if s.Count > 0 {
 		s.P50NS = quantile(0.50)
+		s.P90NS = quantile(0.90)
 		s.P99NS = quantile(0.99)
+		s.P999NS = quantile(0.999)
 	}
 	for i := 0; i < nBuckets; i++ {
 		if v := h.buckets[i].Load(); v != 0 {
@@ -136,7 +146,12 @@ type RunStats struct {
 	CacheHits      int64                     `json:"cache_hits"`
 	CacheHitRate   float64                   `json:"cache_hit_rate"` // hits / samples
 	Faults         *FaultStats               `json:"faults,omitempty"`
+	Overlap        *OverlapStats             `json:"overlap,omitempty"`
 	Phases         map[string]HistogramStats `json:"phases,omitempty"`
+	// SinkDropped counts events the sink failed to write (see JSONLSink);
+	// SinkErr holds the first write error's text.
+	SinkDropped int64  `json:"sink_dropped,omitempty"`
+	SinkErr     string `json:"sink_err,omitempty"`
 }
 
 // Recorder accumulates counters and phase histograms for one run. All
@@ -154,6 +169,9 @@ type Recorder struct {
 	faultMu    sync.Mutex
 	faults     FaultStats
 	faultsSeen bool
+
+	overlapMu sync.Mutex
+	overlap   *OverlapStats
 
 	phases sync.Map // string -> *Histogram
 
@@ -211,6 +229,15 @@ func (r *Recorder) ObserveFaults(f FaultStats) {
 	r.faultMu.Unlock()
 }
 
+// SetOverlap attaches the run's derived overlap/utilization summary
+// (computed from a Tracer's span set after the epoch) so it rides along in
+// RunStats and the Prometheus exposition.
+func (r *Recorder) SetOverlap(o OverlapStats) {
+	r.overlapMu.Lock()
+	r.overlap = &o
+	r.overlapMu.Unlock()
+}
+
 // Snapshot derives RunStats from the counters so far.
 func (r *Recorder) Snapshot() RunStats {
 	s := RunStats{
@@ -234,6 +261,15 @@ func (r *Recorder) Snapshot() RunStats {
 		s.Faults = &f
 	}
 	r.faultMu.Unlock()
+	r.overlapMu.Lock()
+	if r.overlap != nil {
+		o := *r.overlap
+		s.Overlap = &o
+	}
+	r.overlapMu.Unlock()
+	if d, ok := r.sink.(interface{ Dropped() int64 }); ok {
+		s.SinkDropped = d.Dropped()
+	}
 	r.phases.Range(func(k, v any) bool {
 		if s.Phases == nil {
 			s.Phases = map[string]HistogramStats{}
@@ -244,11 +280,29 @@ func (r *Recorder) Snapshot() RunStats {
 	return s
 }
 
-// Finish snapshots the run, emits a run_end event, and returns the stats.
+// Finish snapshots the run, emits a run_end event, flushes the sink, and
+// returns the stats. Any events the sink dropped (and its first write error)
+// are reported in the returned RunStats — observability never fails the run
+// it observes, but it no longer fails silently either.
 func (r *Recorder) Finish() RunStats {
 	s := r.Snapshot()
 	r.emit(Event{Type: EventRunEnd, Label: r.label, Workers: r.workers, Stats: &s})
+	if err := r.Err(); err != nil {
+		s.SinkErr = err.Error()
+	}
+	if d, ok := r.sink.(interface{ Dropped() int64 }); ok {
+		s.SinkDropped = d.Dropped()
+	}
 	return s
+}
+
+// Err flushes the sink (when it supports flushing) and returns its first
+// write error, nil when every event landed.
+func (r *Recorder) Err() error {
+	if f, ok := r.sink.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
 }
 
 // PhaseNames lists the phases observed so far, sorted.

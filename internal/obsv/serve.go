@@ -1,0 +1,163 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry tracks live Recorders so an HTTP endpoint can expose their
+// counters mid-run. Register is cheap; exposition snapshots on demand.
+type Registry struct {
+	mu   sync.Mutex
+	recs []*Recorder
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a recorder to the exposition set. Nil-safe on both sides.
+func (g *Registry) Register(r *Recorder) {
+	if g == nil || r == nil {
+		return
+	}
+	g.mu.Lock()
+	g.recs = append(g.recs, r)
+	g.mu.Unlock()
+}
+
+// snapshots captures every registered recorder's current stats.
+func (g *Registry) snapshots() []RunStats {
+	g.mu.Lock()
+	recs := append([]*Recorder(nil), g.recs...)
+	g.mu.Unlock()
+	out := make([]RunStats, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, r.Snapshot())
+	}
+	return out
+}
+
+// quoteLabel renders a Prometheus label value, escaped per the text
+// exposition rules (backslash, double quote, newline) and double-quoted.
+func quoteLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return `"` + v + `"`
+}
+
+// promMetric is one family: help text, type, and per-run sample rows.
+type promMetric struct {
+	name, help, typ string
+	rows            []promRow
+}
+
+type promRow struct {
+	labels string
+	value  float64
+}
+
+// WritePrometheus renders every registered recorder in the Prometheus text
+// exposition format (version 0.0.4), hand-rolled to keep the module
+// dependency-free. Runs are distinguished by a `run` label.
+func (g *Registry) WritePrometheus(w io.Writer) {
+	metrics := map[string]*promMetric{}
+	add := func(name, help, typ, labels string, value float64) {
+		m, ok := metrics[name]
+		if !ok {
+			m = &promMetric{name: name, help: help, typ: typ}
+			metrics[name] = m
+		}
+		m.rows = append(m.rows, promRow{labels: labels, value: value})
+	}
+	for _, s := range g.snapshots() {
+		run := "run=" + quoteLabel(s.Label)
+		add("dynn_samples_total", "Samples completed.", "counter", run, float64(s.Samples))
+		add("dynn_mispredicts_total", "Pilot path mis-predictions.", "counter", run, float64(s.Mispredicts))
+		add("dynn_cache_hits_total", "Mis-prediction cache hits.", "counter", run, float64(s.CacheHits))
+		add("dynn_run_wall_seconds", "Wall time since the run started.", "gauge", run, float64(s.WallNS)/1e9)
+		add("dynn_samples_per_second", "Run throughput.", "gauge", run, s.SamplesPerSec)
+		add("dynn_workers", "Configured worker count.", "gauge", run, float64(s.Workers))
+		if s.Faults != nil {
+			f := s.Faults
+			add("dynn_faults_injected_total", "Faults injected.", "counter", run, float64(f.Injected))
+			add("dynn_fault_retries_total", "Transfer retries after injected faults.", "counter", run, float64(f.Retries))
+			add("dynn_fault_fallbacks_total", "On-demand fallbacks after dropped prefetches.", "counter",
+				run+`,kind="ondemand"`, float64(f.OnDemandFallbacks))
+			add("dynn_fault_fallbacks_total", "On-demand fallbacks after dropped prefetches.", "counter",
+				run+`,kind="evict_retry"`, float64(f.EvictRetries))
+		}
+		if s.Overlap != nil {
+			o := s.Overlap
+			add("dynn_overlap_efficiency", "Fraction of transfer time hidden under compute.", "gauge", run, o.Efficiency)
+			add("dynn_pcie_utilization", "Transfer bytes over link capacity for the makespan.", "gauge", run, o.PCIeUtil)
+			for _, lane := range sortedKeys(o.LaneUtil) {
+				add("dynn_stream_utilization", "Per-stream busy fraction of the simulated makespan.", "gauge",
+					run+",stream="+quoteLabel(lane), o.LaneUtil[lane])
+			}
+		}
+		for _, name := range sortedKeys(s.Phases) {
+			h := s.Phases[name]
+			ph := run + ",phase=" + quoteLabel(name)
+			add("dynn_phase_seconds_count", "Phase observations.", "counter", ph, float64(h.Count))
+			add("dynn_phase_seconds_sum", "Total phase latency.", "counter", ph, float64(h.SumNS)/1e9)
+			add("dynn_phase_seconds_max", "Max phase latency.", "gauge", ph, float64(h.MaxNS)/1e9)
+			for _, q := range []struct {
+				q  string
+				ns int64
+			}{{"0.5", h.P50NS}, {"0.9", h.P90NS}, {"0.99", h.P99NS}, {"0.999", h.P999NS}} {
+				add("dynn_phase_seconds", "Phase latency quantiles (power-of-two bucket upper bounds).", "gauge",
+					ph+",quantile="+quoteLabel(q.q), float64(q.ns)/1e9)
+			}
+		}
+	}
+	for _, name := range sortedKeys(metrics) {
+		m := metrics[name]
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		for _, row := range m.rows {
+			fmt.Fprintf(w, "%s{%s} %g\n", m.name, row.labels, row.value)
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Handler serves the registry as a Prometheus /metrics endpoint.
+func (g *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		g.WritePrometheus(w)
+	})
+}
+
+// NewServeMux builds the live-observability mux: /metrics (Prometheus text),
+// /debug/pprof/* (the standard profiles), and an index page at /.
+func NewServeMux(g *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", g.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		io.WriteString(w, "dynnbench live observability\n\n  /metrics      Prometheus text exposition\n  /debug/pprof  Go runtime profiles\n")
+	})
+	return mux
+}

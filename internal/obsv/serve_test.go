@@ -1,0 +1,114 @@
+package obsv
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func exposition(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	g := NewRegistry()
+	r := NewRecorder("Tree-LSTM", 4, nil)
+	g.Register(r)
+	for i := 0; i < 10; i++ {
+		r.ObserveSample(i, i%5 == 0, i%2 == 0, 1000)
+		r.ObservePhase("simulate", int64(1000*(i+1)))
+	}
+	r.ObserveFaults(FaultStats{Injected: 3, Retries: 2, OnDemandFallbacks: 1})
+	r.SetOverlap(OverlapStats{
+		Efficiency: 0.75, PCIeUtil: 0.4,
+		LaneUtil: map[string]float64{LaneCompute: 0.9, LaneH2D: 0.3},
+	})
+
+	resp, body := exposition(t, g.Handler(), "/")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		`dynn_samples_total{run="Tree-LSTM"} 10`,
+		`dynn_mispredicts_total{run="Tree-LSTM"} 2`,
+		`dynn_cache_hits_total{run="Tree-LSTM"} 5`,
+		`dynn_workers{run="Tree-LSTM"} 4`,
+		`dynn_faults_injected_total{run="Tree-LSTM"} 3`,
+		`dynn_fault_fallbacks_total{run="Tree-LSTM",kind="ondemand"} 1`,
+		`dynn_overlap_efficiency{run="Tree-LSTM"} 0.75`,
+		`dynn_stream_utilization{run="Tree-LSTM",stream="compute"} 0.9`,
+		`dynn_phase_seconds_count{run="Tree-LSTM",phase="simulate"} 10`,
+		`dynn_phase_seconds{run="Tree-LSTM",phase="simulate",quantile="0.5"}`,
+		"# TYPE dynn_samples_total counter",
+		"# HELP dynn_overlap_efficiency",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n%s", want, body)
+		}
+	}
+	// Families must be emitted sorted so scrapes diff cleanly.
+	if strings.Index(body, "dynn_cache_hits_total") > strings.Index(body, "dynn_samples_total") {
+		t.Error("metric families not sorted by name")
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	g := NewRegistry()
+	g.Register(NewRecorder("bad\"label\\with\nnewline", 1, nil))
+	_, body := exposition(t, g.Handler(), "/")
+	if !strings.Contains(body, `run="bad\"label\\with\nnewline"`) {
+		t.Errorf("label not escaped:\n%s", body)
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var g *Registry
+	g.Register(NewRecorder("x", 1, nil)) // must not panic
+	NewRegistry().Register(nil)
+	// An empty registry serves an empty (but valid) exposition.
+	_, body := exposition(t, NewRegistry().Handler(), "/")
+	if strings.TrimSpace(body) != "" {
+		t.Errorf("empty registry body = %q", body)
+	}
+}
+
+func TestServeMuxEndpoints(t *testing.T) {
+	g := NewRegistry()
+	g.Register(NewRecorder("mux", 2, nil))
+	mux := NewServeMux(g)
+
+	resp, body := exposition(t, mux, "/metrics")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "dynn_samples_total") {
+		t.Errorf("/metrics: status %d body %q", resp.StatusCode, body)
+	}
+	resp, body = exposition(t, mux, "/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: status %d", resp.StatusCode)
+	}
+	resp, _ = exposition(t, mux, "/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: status %d", resp.StatusCode)
+	}
+	resp, body = exposition(t, mux, "/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: status %d body %q", resp.StatusCode, body)
+	}
+	resp, _ = exposition(t, mux, "/nonexistent")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -2,6 +2,7 @@ package obsv
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
 )
@@ -35,8 +36,10 @@ type Sink interface {
 // JSONLSink writes one JSON object per line to an io.Writer, serialized by a
 // mutex so worker goroutines never interleave lines.
 type JSONLSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu      sync.Mutex
+	enc     *json.Encoder
+	dropped int64
+	err     error
 }
 
 // NewJSONLSink wraps w. The caller owns closing the underlying writer.
@@ -44,10 +47,35 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	return &JSONLSink{enc: json.NewEncoder(w)}
 }
 
-// Emit writes the event as one JSON line. Encoding errors are intentionally
-// dropped: observability must never fail the run it observes.
+// Emit writes the event as one JSON line. Write errors never fail the run
+// being observed: the event is counted as dropped and the first error is
+// kept for Flush / the recorder's Finish report.
 func (s *JSONLSink) Emit(ev Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_ = s.enc.Encode(ev)
+	if err := s.enc.Encode(ev); err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		s.dropped++
+	}
+}
+
+// Dropped reports how many events failed to write.
+func (s *JSONLSink) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Flush reports the first write error, wrapped with the drop count, or nil
+// when every event landed. (Encoding is unbuffered, so there is nothing to
+// push — Flush exists to surface deferred errors at end of run.)
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		return nil
+	}
+	return fmt.Errorf("jsonl sink: dropped %d event(s), first error: %w", s.dropped, s.err)
 }

@@ -1,0 +1,129 @@
+package obsv
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failWriter fails every write — a full disk or closed pipe, at its worst.
+type failWriter struct{ calls int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.calls++
+	return 0, errors.New("disk full")
+}
+
+func TestJSONLSinkCountsDrops(t *testing.T) {
+	s := NewJSONLSink(&failWriter{})
+	for i := 0; i < 3; i++ {
+		s.Emit(Event{Type: EventSample, Sample: i})
+	}
+	if s.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", s.Dropped())
+	}
+	err := s.Flush()
+	if err == nil {
+		t.Fatal("Flush returned nil after 3 dropped events")
+	}
+	for _, want := range []string{"dropped 3 event(s)", "disk full"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("flush error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestJSONLSinkHealthy(t *testing.T) {
+	s := NewJSONLSink(&lockedBuffer{})
+	s.Emit(Event{Type: EventRunStart})
+	if s.Dropped() != 0 {
+		t.Errorf("dropped = %d", s.Dropped())
+	}
+	if err := s.Flush(); err != nil {
+		t.Errorf("flush on healthy sink = %v", err)
+	}
+}
+
+// TestRecorderReportsSinkFailure pins the satellite fix: a failing sink no
+// longer fails silently — Finish surfaces the drop count and first error in
+// RunStats, without ever failing the run being observed.
+func TestRecorderReportsSinkFailure(t *testing.T) {
+	r := NewRecorder("failing", 2, NewJSONLSink(&failWriter{}))
+	r.ObserveSample(0, false, false, 100)
+	s := r.Finish()
+	// run_start, sample, and run_end all dropped.
+	if s.SinkDropped != 3 {
+		t.Errorf("SinkDropped = %d, want 3", s.SinkDropped)
+	}
+	if !strings.Contains(s.SinkErr, "disk full") {
+		t.Errorf("SinkErr = %q", s.SinkErr)
+	}
+	if s.Samples != 1 {
+		t.Errorf("run stats corrupted by sink failure: %+v", s)
+	}
+}
+
+func TestRecorderCleanSinkReport(t *testing.T) {
+	r := NewRecorder("clean", 2, NewJSONLSink(&lockedBuffer{}))
+	r.ObserveSample(0, false, false, 100)
+	s := r.Finish()
+	if s.SinkDropped != 0 || s.SinkErr != "" {
+		t.Errorf("clean sink reported failure: dropped=%d err=%q", s.SinkDropped, s.SinkErr)
+	}
+}
+
+// TestHistogramQuantileBucketBounds pins the documented quantile semantics:
+// every quantile is the upper bound of the power-of-two bucket holding it —
+// the smallest 2^i ≥ the true value — and a quantile that lands past the last
+// occupied bucket reports from the next occupied bucket's bound (up to MaxNS's
+// bucket). 1000 observations with a known rank structure:
+//
+//	900 × 10ns (bucket 2^4), 90 × 1000ns (2^10),
+//	9 × 100µs (2^17), 1 × 10ms (2^24)
+func TestHistogramQuantileBucketBounds(t *testing.T) {
+	var h Histogram
+	observe := func(n int, ns int64) {
+		for i := 0; i < n; i++ {
+			h.Observe(ns)
+		}
+	}
+	observe(900, 10)
+	observe(90, 1000)
+	observe(9, 100_000)
+	observe(1, 10_000_000)
+	s := h.Snapshot()
+	if s.Count != 1000 || s.MaxNS != 10_000_000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	for _, q := range []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"P50", s.P50NS, 16},        // rank 500 in the 10ns bucket
+		{"P90", s.P90NS, 1024},      // rank 900 is the bucket boundary → next bucket
+		{"P99", s.P99NS, 1 << 17},   // rank 990 → 100µs bucket
+		{"P999", s.P999NS, 1 << 24}, // rank 999 → the max observation's bucket
+	} {
+		if q.got != q.want {
+			t.Errorf("%s = %d, want %d", q.name, q.got, q.want)
+		}
+		// The documented invariant: quantiles are exact powers of two.
+		if q.got&(q.got-1) != 0 {
+			t.Errorf("%s = %d is not a power of two", q.name, q.got)
+		}
+	}
+	// A quantile never over-estimates by more than 2x its bucket's values:
+	// P999's bound is ≥ the max observation and < 2× it.
+	if s.P999NS < s.MaxNS || s.P999NS >= 2*s.MaxNS {
+		t.Errorf("P999 = %d outside [max, 2·max) for max %d", s.P999NS, s.MaxNS)
+	}
+}
+
+func TestHistogramSubNanosecond(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	if s := h.Snapshot(); s.P50NS != 1 {
+		t.Errorf("sub-ns P50 = %d, want 1 (bucket-0 bound)", s.P50NS)
+	}
+}

@@ -1,0 +1,140 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestOverlapHandBuilt pins the overlap arithmetic on a timeline small enough
+// to check by hand:
+//
+//	compute: [0,100) [150,250)                     busy 200
+//	h2d:     [0,50) hidden, [100,150) exposed      busy 100
+//	d2h:     [200,300) half hidden                 busy 100
+func TestOverlapHandBuilt(t *testing.T) {
+	spans := []Span{
+		{Kind: SpanCompute, Lane: LaneCompute, Block: 0, StartNS: 0, DurNS: 100},
+		{Kind: SpanCompute, Lane: LaneCompute, Block: 1, StartNS: 150, DurNS: 100},
+		{Kind: SpanPrefetch, Lane: LaneH2D, Block: 0, StartNS: 0, DurNS: 50, Bytes: 1000},
+		{Kind: SpanOnDemand, Lane: LaneH2D, Block: 1, StartNS: 100, DurNS: 50, Bytes: 2000},
+		{Kind: SpanEvict, Lane: LaneD2H, Block: 0, StartNS: 200, DurNS: 100, Bytes: 4000},
+		// Host-lane spans are bookkeeping, never hardware occupancy.
+		{Kind: SpanSample, Lane: LaneHost, Block: -1, StartNS: 0, DurNS: 300},
+	}
+	o := NewTimeline(spans, 1e9).Overlap()
+
+	if o.MakespanNS != 300 {
+		t.Errorf("makespan = %d", o.MakespanNS)
+	}
+	if o.ComputeNS != 200 {
+		t.Errorf("compute = %d", o.ComputeNS)
+	}
+	if o.TransferNS != 200 {
+		t.Errorf("transfer = %d", o.TransferNS)
+	}
+	// hidden: h2d [0,50) under compute [0,100) = 50; d2h [200,300) under
+	// compute [150,250) = 50.
+	if o.HiddenNS != 100 || o.ExposedNS != 100 {
+		t.Errorf("hidden/exposed = %d/%d", o.HiddenNS, o.ExposedNS)
+	}
+	if o.Efficiency != 0.5 {
+		t.Errorf("efficiency = %v", o.Efficiency)
+	}
+	if o.TransferBytes != 7000 {
+		t.Errorf("bytes = %d", o.TransferBytes)
+	}
+	// 1e9 B/s over 300 ns carries 300 bytes; 7000/300.
+	if want := 7000.0 / 300.0; o.PCIeUtil != want {
+		t.Errorf("pcie util = %v, want %v", o.PCIeUtil, want)
+	}
+	if got := o.LaneBusyNS[LaneCompute]; got != 200 {
+		t.Errorf("compute busy = %d", got)
+	}
+	if got := o.LaneUtil[LaneH2D]; got != 100.0/300.0 {
+		t.Errorf("h2d util = %v", got)
+	}
+	// Each lane has exactly one 50ns idle gap (compute [100,150), h2d
+	// [50,100)); d2h has no gap.
+	if g := o.IdleGaps[LaneCompute]; g.Count != 1 || g.SumNS != 50 {
+		t.Errorf("compute gaps = %+v", g)
+	}
+	if g := o.IdleGaps[LaneD2H]; g.Count != 0 {
+		t.Errorf("d2h gaps = %+v", g)
+	}
+}
+
+func TestOverlapMergesDoubleBookedLane(t *testing.T) {
+	// Overlapping spans on one lane count busy wall time once.
+	spans := []Span{
+		{Kind: SpanCompute, Lane: LaneCompute, StartNS: 0, DurNS: 100},
+		{Kind: SpanCompute, Lane: LaneCompute, StartNS: 50, DurNS: 100},
+	}
+	o := NewTimeline(spans, 0).Overlap()
+	if o.ComputeNS != 150 {
+		t.Errorf("merged busy = %d, want 150", o.ComputeNS)
+	}
+	if o.PCIeUtil != 0 {
+		t.Errorf("pcie util without bandwidth = %v, want 0", o.PCIeUtil)
+	}
+}
+
+func TestOverlapEmpty(t *testing.T) {
+	o := NewTimeline(nil, 1e9).Overlap()
+	if o.MakespanNS != 0 || o.TransferNS != 0 || o.Efficiency != 0 {
+		t.Errorf("empty timeline overlap = %+v", o)
+	}
+}
+
+func TestBlocksBreakdown(t *testing.T) {
+	spans := []Span{
+		{Sample: 0, Kind: SpanSample, Lane: LaneHost, Block: -1, StartNS: 0, DurNS: 400},
+		{Sample: 0, Kind: SpanPrefetch, Lane: LaneH2D, Block: 0, StartNS: 0, DurNS: 10, Bytes: 64},
+		// Block 0 computes at 10 after a 10ns stall on its prefetch.
+		{Sample: 0, Kind: SpanCompute, Lane: LaneCompute, Block: 0, StartNS: 10, DurNS: 90},
+		{Sample: 0, Kind: SpanEvict, Lane: LaneD2H, Block: 0, StartNS: 100, DurNS: 30, Bytes: 64},
+		{Sample: 0, Kind: SpanRetry, Lane: LaneH2D, Block: 1, StartNS: 100, DurNS: 7, Bytes: 32, Attempt: 1},
+		{Sample: 0, Kind: SpanOnDemand, Lane: LaneH2D, Block: 1, StartNS: 107, DurNS: 40, Bytes: 32},
+		// Block 1 computes at 150: 50ns after block 0's compute ended at 100.
+		{Sample: 0, Kind: SpanCompute, Lane: LaneCompute, Block: 1, StartNS: 150, DurNS: 250},
+	}
+	blocks := NewTimeline(spans, 0).Blocks()
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %+v", blocks)
+	}
+	b0, b1 := blocks[0], blocks[1]
+	if b0.Block != 0 || b0.ComputeNS != 90 || b0.PrefetchNS != 10 || b0.EvictNS != 30 || b0.StallNS != 10 || b0.Spans != 3 {
+		t.Errorf("block 0 = %+v", b0)
+	}
+	if b1.Block != 1 || b1.ComputeNS != 250 || b1.OnDemandNS != 40 || b1.RetryNS != 7 || b1.StallNS != 50 || b1.Spans != 3 {
+		t.Errorf("block 1 = %+v", b1)
+	}
+}
+
+func TestASCIITimeline(t *testing.T) {
+	spans := []Span{
+		{Kind: SpanCompute, Lane: LaneCompute, StartNS: 0, DurNS: 500_000},
+		{Kind: SpanPrefetch, Lane: LaneH2D, StartNS: 0, DurNS: 1_000_000},
+	}
+	var buf bytes.Buffer
+	NewTimeline(spans, 0).ASCII(&buf, 10)
+	out := buf.String()
+	for _, want := range []string{"stream occupancy", "compute", "h2d", "d2h", "100.0% busy", "50.0% busy", "0.0% busy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+	// h2d is solid for the whole makespan; d2h renders as blanks.
+	if !strings.Contains(out, "|██████████|") {
+		t.Errorf("full lane not rendered solid:\n%s", out)
+	}
+	if !strings.Contains(out, "|          |") {
+		t.Errorf("idle lane not rendered blank:\n%s", out)
+	}
+
+	buf.Reset()
+	NewTimeline(nil, 0).ASCII(&buf, 10)
+	if !strings.Contains(buf.String(), "(empty timeline)") {
+		t.Errorf("empty timeline render = %q", buf.String())
+	}
+}

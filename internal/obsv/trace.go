@@ -1,0 +1,410 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Span tracing records what the end-of-epoch aggregates cannot show: *when*,
+// on the simulated DES clock, each prefetch, compute interval, eviction, and
+// recovery step ran, so overlap ("did the transfer hide behind compute?") is
+// measured rather than inferred. Spans are dual-clock: simulated nanoseconds
+// are authoritative and deterministic — the same span set replays bit-for-bit
+// at any worker count — while wall-clock annotations (worker id, host
+// latency) are opt-in and excluded from the deterministic trace.
+
+// SpanKind classifies one traced interval of a sample's execution.
+type SpanKind string
+
+const (
+	// SpanSample is the whole-sample envelope on the host track (synthesized
+	// by the Tracer from the sample's last span end).
+	SpanSample SpanKind = "sample"
+	// SpanPilot marks one pilot prediction. Pilot inference is measured in
+	// host wall time, not DES time, so the span is an instant on the
+	// simulated clock; its wall duration appears only in wall mode.
+	SpanPilot SpanKind = "pilot"
+	// SpanMapping marks the pilot output→path mapping (instant, like pilot).
+	SpanMapping SpanKind = "mapping"
+	// SpanCompute is one execution block's compute interval.
+	SpanCompute SpanKind = "compute"
+	// SpanPrefetch is a scheduled H2D prefetch of a block's tensors.
+	SpanPrefetch SpanKind = "prefetch"
+	// SpanEvict is a D2H write-back of a retired block's tensors.
+	SpanEvict SpanKind = "evict"
+	// SpanOnDemand is an exposed on-demand fetch (mis-prediction or dropped
+	// prefetch): migration on the critical path.
+	SpanOnDemand SpanKind = "ondemand"
+	// SpanRetry is one faulted attempt in the recovery ladder: an aborted
+	// transfer's wasted lane occupancy, or a backoff wait after a transient
+	// allocation failure.
+	SpanRetry SpanKind = "retry"
+	// SpanFault is the tensor-fault handler round trip charged when a sample
+	// degrades to on-demand fetching.
+	SpanFault SpanKind = "fault"
+)
+
+// Lane names for Span.Lane. Compute/H2D/D2H mirror gpusim's three hardware
+// queues; host carries sample envelopes, pilot instants, and alloc backoffs.
+const (
+	LaneCompute = "compute"
+	LaneH2D     = "h2d"
+	LaneD2H     = "d2h"
+	LaneHost    = "host"
+)
+
+// Span is one traced interval. StartNS/DurNS are simulated DES nanoseconds;
+// until the Tracer lays samples onto the epoch timeline, StartNS is relative
+// to the sample's own clock (every sample simulates from t=0).
+type Span struct {
+	Sample int      `json:"sample"`
+	Kind   SpanKind `json:"kind"`
+	Lane   string   `json:"lane"`
+	// Block is the execution-block index the span belongs to, -1 when the
+	// span is not block-scoped (envelope, pilot, mapping).
+	Block   int   `json:"block"`
+	StartNS int64 `json:"start_ns"`
+	DurNS   int64 `json:"dur_ns"`
+	Bytes   int64 `json:"bytes,omitempty"`
+	// Attempt numbers retry spans within one recovery ladder (1-based).
+	Attempt int `json:"attempt,omitempty"`
+	// Outcome tags, meaningful on the sample envelope.
+	Mispredicted bool `json:"mispredicted,omitempty"`
+	CacheHit     bool `json:"cache_hit,omitempty"`
+	// Wall-clock annotations, populated only when the Tracer runs in wall
+	// mode (non-deterministic; excluded from the deterministic trace).
+	Worker int   `json:"worker,omitempty"`
+	WallNS int64 `json:"wall_ns,omitempty"`
+}
+
+// End returns the span's end time on its clock.
+func (s Span) End() int64 { return s.StartNS + s.DurNS }
+
+// SampleTrace collects one sample's spans. It is written by exactly one
+// goroutine (the worker simulating the sample); all methods are nil-safe
+// no-ops so untraced call sites need no branching — the same discipline as
+// faults.Stream.
+type SampleTrace struct {
+	sample  int
+	wall    bool
+	worker  int
+	wallSW  Stopwatch
+	wallNS  int64
+	outcome outcome
+	spans   []Span
+}
+
+// Span records one interval.
+func (st *SampleTrace) Span(kind SpanKind, lane string, block int, startNS, durNS, bytes int64) {
+	if st == nil {
+		return
+	}
+	st.spans = append(st.spans, Span{
+		Sample: st.sample, Kind: kind, Lane: lane, Block: block,
+		StartNS: startNS, DurNS: durNS, Bytes: bytes,
+	})
+}
+
+// Retry records one faulted attempt of the recovery ladder.
+func (st *SampleTrace) Retry(lane string, block int, startNS, durNS, bytes int64, attempt int) {
+	if st == nil {
+		return
+	}
+	st.spans = append(st.spans, Span{
+		Sample: st.sample, Kind: SpanRetry, Lane: lane, Block: block,
+		StartNS: startNS, DurNS: durNS, Bytes: bytes, Attempt: attempt,
+	})
+}
+
+// Instant records a zero-duration marker at simulated t=0 whose real cost is
+// host wall time (pilot inference, output mapping). The wall duration is
+// kept only in wall mode so deterministic traces stay bit-identical.
+func (st *SampleTrace) Instant(kind SpanKind, wallNS int64) {
+	if st == nil {
+		return
+	}
+	sp := Span{Sample: st.sample, Kind: kind, Lane: LaneHost, Block: -1}
+	if st.wall {
+		sp.WallNS = wallNS
+		sp.Worker = st.worker
+	}
+	st.spans = append(st.spans, sp)
+}
+
+// Outcome tags the sample's envelope with its prediction outcome.
+func (st *SampleTrace) Outcome(mispredicted, cacheHit bool) {
+	if st == nil {
+		return
+	}
+	st.outcome = outcome{set: true, mispredicted: mispredicted, cacheHit: cacheHit}
+}
+
+type outcome struct {
+	set          bool
+	mispredicted bool
+	cacheHit     bool
+}
+
+// makespanNS is the sample's last span end on the simulated clock.
+func (st *SampleTrace) makespanNS() int64 {
+	var end int64
+	for _, sp := range st.spans {
+		if e := sp.End(); e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// Chrome Trace Event Format export (Perfetto-loadable). The file is the
+// JSON-object form: {"traceEvents": [...], "displayTimeUnit": "ns",
+// "otherData": {...}} with complete ("X"), instant ("i"), and metadata ("M")
+// events. Timestamps are microseconds (the format's unit), emitted as exact
+// multiples of 1/1000 so ns round-trip through ReadChromeTrace.
+
+// ChromeMeta is run-level metadata carried in the trace file's otherData so
+// analysis tools (cmd/dynntrace) can derive bandwidth utilization offline.
+type ChromeMeta struct {
+	Label string `json:"label,omitempty"`
+	// LinkBWBytesPerSec is the simulated PCIe link bandwidth.
+	LinkBWBytesPerSec float64 `json:"link_bw_bytes_per_sec,omitempty"`
+	Samples           int     `json:"samples,omitempty"`
+}
+
+// chromeArgs is the deterministic argument payload of one event. Field order
+// is fixed by the struct, so encoding is byte-stable.
+type chromeArgs struct {
+	Sample       int      `json:"sample,omitempty"`
+	Kind         SpanKind `json:"kind,omitempty"`
+	Block        *int     `json:"block,omitempty"`
+	Bytes        int64    `json:"bytes,omitempty"`
+	Attempt      int      `json:"attempt,omitempty"`
+	Mispredicted bool     `json:"mispredicted,omitempty"`
+	CacheHit     bool     `json:"cache_hit,omitempty"`
+	Worker       int      `json:"worker,omitempty"`
+	WallNS       int64    `json:"wall_ns,omitempty"`
+	Name         string   `json:"name,omitempty"` // metadata events only
+}
+
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	TS   float64     `json:"ts"`
+	Dur  *float64    `json:"dur,omitempty"`
+	PID  int         `json:"pid"`
+	TID  int         `json:"tid"`
+	S    string      `json:"s,omitempty"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+	OtherData       *ChromeMeta   `json:"otherData,omitempty"`
+}
+
+// laneTIDs fixes the lane→thread-id layout of the exported trace.
+var laneTIDs = map[string]int{LaneHost: 1, LaneCompute: 2, LaneH2D: 3, LaneD2H: 4}
+
+// laneOfTID inverts laneTIDs.
+func laneOfTID(tid int) string {
+	for lane, id := range laneTIDs {
+		if id == tid {
+			return lane
+		}
+	}
+	return LaneHost
+}
+
+const chromePID = 1
+
+// usOf converts simulated ns to the format's microsecond unit exactly (the
+// fraction is k/1000 with k < 1000, representable without drift for any
+// timeline under ~2^53 µs).
+func usOf(ns int64) float64 { return float64(ns) / 1e3 }
+
+// nsOf inverts usOf.
+func nsOf(us float64) int64 { return int64(math.Round(us * 1e3)) }
+
+// WriteChromeTrace serializes spans (in the order given — use Tracer.Spans
+// for the canonical epoch timeline) as Chrome Trace Event Format JSON.
+func WriteChromeTrace(w io.Writer, spans []Span, meta ChromeMeta) error {
+	procName := "dynnoffload"
+	if meta.Label != "" {
+		procName += " " + meta.Label
+	}
+	events := []chromeEvent{
+		{Name: "process_name", Ph: "M", PID: chromePID, Args: &chromeArgs{Name: procName}},
+	}
+	for _, lane := range []string{LaneHost, LaneCompute, LaneH2D, LaneD2H} {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: laneTIDs[lane],
+			Args: &chromeArgs{Name: lane},
+		})
+	}
+	for _, sp := range spans {
+		args := &chromeArgs{
+			Sample: sp.Sample, Kind: sp.Kind, Bytes: sp.Bytes, Attempt: sp.Attempt,
+			Mispredicted: sp.Mispredicted, CacheHit: sp.CacheHit,
+			Worker: sp.Worker, WallNS: sp.WallNS,
+		}
+		if sp.Block >= 0 {
+			b := sp.Block
+			args.Block = &b
+		}
+		ev := chromeEvent{
+			Name: string(sp.Kind), Cat: string(sp.Kind), Ph: "X",
+			TS: usOf(sp.StartNS), PID: chromePID, TID: laneTIDs[sp.Lane], Args: args,
+		}
+		if sp.Block >= 0 {
+			ev.Name = fmt.Sprintf("%s b%d", sp.Kind, sp.Block)
+		}
+		if sp.DurNS == 0 && (sp.Kind == SpanPilot || sp.Kind == SpanMapping) {
+			ev.Ph, ev.S = "i", "t"
+		} else {
+			dur := usOf(sp.DurNS)
+			ev.Dur = &dur
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ns",
+		OtherData:       &meta,
+	})
+}
+
+// ReadChromeTrace parses a trace written by WriteChromeTrace back into spans
+// (in file order) and its metadata.
+func ReadChromeTrace(r io.Reader) ([]Span, ChromeMeta, error) {
+	var f chromeFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, ChromeMeta{}, fmt.Errorf("obsv: chrome trace: %w", err)
+	}
+	var meta ChromeMeta
+	if f.OtherData != nil {
+		meta = *f.OtherData
+	}
+	// Prefer the file's own thread_name metadata over the fixed layout, so
+	// traces re-arranged by other tools still load.
+	tidLane := map[int]string{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" && ev.Args != nil {
+			tidLane[ev.TID] = ev.Args.Name
+		}
+	}
+	var spans []Span
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" && ev.Ph != "i" {
+			continue
+		}
+		lane, ok := tidLane[ev.TID]
+		if !ok {
+			lane = laneOfTID(ev.TID)
+		}
+		sp := Span{Kind: SpanKind(ev.Cat), Lane: lane, Block: -1, StartNS: nsOf(ev.TS)}
+		if ev.Dur != nil {
+			sp.DurNS = nsOf(*ev.Dur)
+		}
+		if ev.Args != nil {
+			sp.Sample = ev.Args.Sample
+			if ev.Args.Kind != "" {
+				sp.Kind = ev.Args.Kind
+			}
+			if ev.Args.Block != nil {
+				sp.Block = *ev.Args.Block
+			}
+			sp.Bytes = ev.Args.Bytes
+			sp.Attempt = ev.Args.Attempt
+			sp.Mispredicted = ev.Args.Mispredicted
+			sp.CacheHit = ev.Args.CacheHit
+			sp.Worker = ev.Args.Worker
+			sp.WallNS = ev.Args.WallNS
+		}
+		spans = append(spans, sp)
+	}
+	return spans, meta, nil
+}
+
+// CheckChromeTrace validates that r holds structurally well-formed Chrome
+// Trace Event Format JSON: a traceEvents array whose events carry a known
+// phase, non-negative timestamps and durations, and named metadata. It
+// returns the first violation found, nil when the file is loadable.
+func CheckChromeTrace(r io.Reader) error {
+	var f chromeFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("obsv: chrome trace: not valid JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("obsv: chrome trace: empty traceEvents array")
+	}
+	for i, ev := range f.TraceEvents {
+		at := func(format string, a ...any) error {
+			return fmt.Errorf("obsv: chrome trace: event %d: %s", i, fmt.Sprintf(format, a...))
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				return at("unknown metadata event %q", ev.Name)
+			}
+			if ev.Args == nil || ev.Args.Name == "" {
+				return at("metadata event %q without args.name", ev.Name)
+			}
+		case "X":
+			if ev.Name == "" {
+				return at("complete event without name")
+			}
+			if ev.TS < 0 {
+				return at("negative ts %v", ev.TS)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return at("complete event %q without non-negative dur", ev.Name)
+			}
+		case "i":
+			if ev.TS < 0 {
+				return at("negative ts %v", ev.TS)
+			}
+			switch ev.S {
+			case "", "t", "p", "g":
+			default:
+				return at("instant event scope %q", ev.S)
+			}
+		default:
+			return at("unsupported phase %q", ev.Ph)
+		}
+		if ev.PID < 0 || ev.TID < 0 {
+			return at("negative pid/tid (%d/%d)", ev.PID, ev.TID)
+		}
+	}
+	return nil
+}
+
+// SortSpans orders spans canonically: by sample, then start, lane, kind,
+// block, attempt. Tracer.Spans already returns this order for engine traces;
+// SortSpans normalizes spans loaded from external files.
+func SortSpans(spans []Span) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Sample != b.Sample {
+			return a.Sample < b.Sample
+		}
+		if a.StartNS != b.StartNS {
+			return a.StartNS < b.StartNS
+		}
+		if a.Lane != b.Lane {
+			return a.Lane < b.Lane
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		return a.Attempt < b.Attempt
+	})
+}

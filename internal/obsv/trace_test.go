@@ -1,0 +1,177 @@
+package obsv
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// traceFixture covers every span kind and argument field the Chrome export
+// must carry: durations, instants, block scoping, bytes, attempts, outcomes.
+func traceFixture() []Span {
+	return []Span{
+		{Sample: 0, Kind: SpanSample, Lane: LaneHost, Block: -1, StartNS: 0, DurNS: 500, Mispredicted: true, CacheHit: true},
+		{Sample: 0, Kind: SpanPilot, Lane: LaneHost, Block: -1},
+		{Sample: 0, Kind: SpanMapping, Lane: LaneHost, Block: -1},
+		{Sample: 0, Kind: SpanPrefetch, Lane: LaneH2D, Block: 0, StartNS: 0, DurNS: 100, Bytes: 4096},
+		{Sample: 0, Kind: SpanCompute, Lane: LaneCompute, Block: 0, StartNS: 100, DurNS: 200},
+		{Sample: 0, Kind: SpanRetry, Lane: LaneH2D, Block: 1, StartNS: 100, DurNS: 50, Bytes: 2048, Attempt: 1},
+		{Sample: 0, Kind: SpanOnDemand, Lane: LaneH2D, Block: 1, StartNS: 300, DurNS: 80, Bytes: 2048},
+		{Sample: 0, Kind: SpanFault, Lane: LaneHost, Block: 1, StartNS: 380, DurNS: 20},
+		{Sample: 0, Kind: SpanEvict, Lane: LaneD2H, Block: 0, StartNS: 300, DurNS: 150, Bytes: 4096},
+		{Sample: 1, Kind: SpanSample, Lane: LaneHost, Block: -1, StartNS: 500, DurNS: 100},
+		{Sample: 1, Kind: SpanCompute, Lane: LaneCompute, Block: 0, StartNS: 500, DurNS: 100},
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	spans := traceFixture()
+	meta := ChromeMeta{Label: "Tree-LSTM epoch", LinkBWBytesPerSec: 12.8e9, Samples: 2}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gotMeta, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Errorf("meta round-trip: got %+v want %+v", gotMeta, meta)
+	}
+	if !reflect.DeepEqual(got, spans) {
+		t.Fatalf("span round-trip diverged:\ngot  %+v\nwant %+v", got, spans)
+	}
+	// The written file must also pass its own validator.
+	if err := CheckChromeTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("written trace fails CheckChromeTrace: %v", err)
+	}
+	// Pilot/mapping instants must be instant events, not zero-width slices:
+	// Perfetto renders "i" markers but drops dur-0 "X" events on some tracks.
+	text := buf.String()
+	if !strings.Contains(text, `"ph":"i"`) {
+		t.Error("no instant events in exported trace")
+	}
+}
+
+func TestCheckChromeTraceRejects(t *testing.T) {
+	cases := []struct {
+		name, file, wantErr string
+	}{
+		{"not json", `{"traceEvents": [`, "not valid JSON"},
+		{"empty", `{"traceEvents": []}`, "empty traceEvents"},
+		{"unknown phase", `{"traceEvents": [{"name":"x","ph":"B","ts":0,"pid":1,"tid":1}]}`, "unsupported phase"},
+		{"X without dur", `{"traceEvents": [{"name":"x","ph":"X","ts":0,"pid":1,"tid":1}]}`, "non-negative dur"},
+		{"negative ts", `{"traceEvents": [{"name":"x","ph":"X","ts":-1,"dur":5,"pid":1,"tid":1}]}`, "negative ts"},
+		{"negative tid", `{"traceEvents": [{"name":"x","ph":"X","ts":0,"dur":5,"pid":1,"tid":-2}]}`, "negative pid/tid"},
+		{"anonymous metadata", `{"traceEvents": [{"name":"thread_name","ph":"M","pid":1,"tid":1}]}`, "without args.name"},
+		{"unknown metadata", `{"traceEvents": [{"name":"counter_name","ph":"M","pid":1,"tid":1}]}`, "unknown metadata"},
+		{"bad instant scope", `{"traceEvents": [{"name":"x","ph":"i","ts":0,"pid":1,"tid":1,"s":"z"}]}`, "instant event scope"},
+	}
+	for _, tc := range cases {
+		err := CheckChromeTrace(strings.NewReader(tc.file))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+	ok := `{"traceEvents": [{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"h2d"}}]}`
+	if err := CheckChromeTrace(strings.NewReader(ok)); err != nil {
+		t.Errorf("valid minimal trace rejected: %v", err)
+	}
+}
+
+func TestTracerCanonicalTimeline(t *testing.T) {
+	tr := NewTracer()
+	// Register out of order; Spans must lay samples out by index.
+	s1 := tr.Sample(1)
+	s1.Span(SpanCompute, LaneCompute, 0, 0, 300, 0)
+	s0 := tr.Sample(0)
+	s0.Span(SpanCompute, LaneCompute, 0, 0, 100, 0)
+	s0.Span(SpanEvict, LaneD2H, 0, 100, 50, 64)
+	s0.Outcome(true, false)
+
+	spans := tr.Spans()
+	if tr.SampleCount() != 2 {
+		t.Fatalf("SampleCount = %d", tr.SampleCount())
+	}
+	// sample 0: envelope [0,150) + 2 spans; sample 1 offset by 150.
+	want := []Span{
+		{Sample: 0, Kind: SpanSample, Lane: LaneHost, Block: -1, StartNS: 0, DurNS: 150, Mispredicted: true},
+		{Sample: 0, Kind: SpanCompute, Lane: LaneCompute, Block: 0, StartNS: 0, DurNS: 100},
+		{Sample: 0, Kind: SpanEvict, Lane: LaneD2H, Block: 0, StartNS: 100, DurNS: 50, Bytes: 64},
+		{Sample: 1, Kind: SpanSample, Lane: LaneHost, Block: -1, StartNS: 150, DurNS: 300},
+		{Sample: 1, Kind: SpanCompute, Lane: LaneCompute, Block: 0, StartNS: 150, DurNS: 300},
+	}
+	if !reflect.DeepEqual(spans, want) {
+		t.Fatalf("canonical timeline:\ngot  %+v\nwant %+v", spans, want)
+	}
+}
+
+func TestNilTracerAndSampleTrace(t *testing.T) {
+	var tr *Tracer
+	if tr.Spans() != nil || tr.SampleCount() != 0 || tr.WallTime() {
+		t.Error("nil tracer must report empty")
+	}
+	st := tr.Sample(3) // nil
+	// Every method must be a no-op, not a panic — the engine calls these
+	// unconditionally on untraced runs.
+	st.Span(SpanCompute, LaneCompute, 0, 0, 10, 0)
+	st.Retry(LaneH2D, 0, 0, 10, 0, 1)
+	st.Instant(SpanPilot, 100)
+	st.Outcome(true, true)
+	st.SetWorker(2)
+	st.StartWall()
+	st.StopWall()
+}
+
+func TestWallModeGating(t *testing.T) {
+	// Default mode: worker ids and wall durations never reach the span set,
+	// keeping the trace free of scheduling-dependent fields.
+	det := NewTracer()
+	st := det.Sample(0)
+	st.SetWorker(5)
+	st.Instant(SpanPilot, 12345)
+	for _, sp := range det.Spans() {
+		if sp.Worker != 0 || sp.WallNS != 0 {
+			t.Errorf("deterministic trace carries wall fields: %+v", sp)
+		}
+	}
+
+	wall := NewTracer(WithWallTime())
+	if !wall.WallTime() {
+		t.Fatal("WithWallTime not applied")
+	}
+	ws := wall.Sample(0)
+	ws.SetWorker(5)
+	ws.Instant(SpanPilot, 12345)
+	var found bool
+	for _, sp := range wall.Spans() {
+		if sp.Kind == SpanPilot && sp.Worker == 5 && sp.WallNS == 12345 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("wall mode dropped worker/wall annotations")
+	}
+}
+
+func TestSortSpans(t *testing.T) {
+	spans := []Span{
+		{Sample: 1, StartNS: 0},
+		{Sample: 0, StartNS: 50, Lane: LaneH2D},
+		{Sample: 0, StartNS: 50, Lane: LaneCompute},
+		{Sample: 0, StartNS: 10},
+	}
+	SortSpans(spans)
+	order := []struct {
+		sample  int
+		startNS int64
+		lane    string
+	}{{0, 10, ""}, {0, 50, LaneCompute}, {0, 50, LaneH2D}, {1, 0, ""}}
+	for i, want := range order {
+		sp := spans[i]
+		if sp.Sample != want.sample || sp.StartNS != want.startNS || sp.Lane != want.lane {
+			t.Fatalf("spans[%d] = %+v, want %+v", i, sp, want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package obsv
+
+import (
+	"sort"
+	"sync"
+)
+
+// Tracer collects per-sample span traces from concurrent epoch workers and
+// lays them onto one canonical epoch timeline. Each SampleTrace is handed to
+// exactly one worker goroutine; the Tracer itself only guards the registry,
+// so tracing adds no synchronization to the simulation hot path.
+//
+// Determinism contract: with wall mode off (the default), Spans() is a pure
+// function of the epoch's simulated execution — bit-identical across runs
+// and worker counts, exactly like the epoch aggregates. Wall mode
+// (WithWallTime) additionally tags spans with worker ids and host latencies,
+// which are scheduling-dependent and therefore non-deterministic.
+type Tracer struct {
+	wall bool
+
+	mu      sync.Mutex
+	samples map[int]*SampleTrace
+}
+
+// TracerOption configures NewTracer.
+type TracerOption func(*Tracer)
+
+// WithWallTime records wall-clock annotations (worker id, host-phase
+// latency, per-sample wall duration) alongside the simulated clock. Traces
+// recorded in wall mode are not bit-identical across runs.
+func WithWallTime() TracerOption {
+	return func(t *Tracer) { t.wall = true }
+}
+
+// NewTracer builds an empty tracer.
+func NewTracer(opts ...TracerOption) *Tracer {
+	t := &Tracer{samples: map[int]*SampleTrace{}}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// WallTime reports whether wall-clock annotations are recorded.
+func (t *Tracer) WallTime() bool { return t != nil && t.wall }
+
+// Sample registers and returns the trace collector for one sample index.
+// Nil-safe: a nil tracer yields a nil SampleTrace, whose methods no-op.
+func (t *Tracer) Sample(idx int) *SampleTrace {
+	if t == nil {
+		return nil
+	}
+	st := &SampleTrace{sample: idx, wall: t.wall}
+	t.mu.Lock()
+	t.samples[idx] = st
+	t.mu.Unlock()
+	return st
+}
+
+// SetWorker tags the sample with the worker that simulated it (wall mode
+// only — worker assignment is scheduling-dependent).
+func (st *SampleTrace) SetWorker(w int) {
+	if st == nil || !st.wall {
+		return
+	}
+	st.worker = w
+}
+
+// StartWall begins the sample's wall-clock envelope measurement (wall mode
+// only).
+func (st *SampleTrace) StartWall() {
+	if st == nil || !st.wall {
+		return
+	}
+	st.wallSW = StartTimer()
+}
+
+// StopWall ends the wall-clock envelope measurement.
+func (st *SampleTrace) StopWall() {
+	if st == nil || !st.wall {
+		return
+	}
+	st.wallNS = st.wallSW.ElapsedNS()
+}
+
+// SampleCount returns the number of registered samples.
+func (t *Tracer) SampleCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.samples)
+}
+
+// Spans returns every recorded span on the canonical epoch timeline: samples
+// sorted by index, each offset by the cumulative makespan of the samples
+// before it — the serial-equivalent schedule, independent of which worker
+// simulated what when. A sample envelope span (SpanSample, host lane) is
+// synthesized per sample carrying its outcome tags. Call after the epoch
+// completes; concurrent use with in-flight workers sees a partial trace.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	idxs := make([]int, 0, len(t.samples))
+	for idx := range t.samples {
+		idxs = append(idxs, idx)
+	}
+	sts := make([]*SampleTrace, 0, len(idxs))
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		sts = append(sts, t.samples[idx])
+	}
+	t.mu.Unlock()
+
+	var out []Span
+	var offset int64
+	for _, st := range sts {
+		makespan := st.makespanNS()
+		env := Span{
+			Sample: st.sample, Kind: SpanSample, Lane: LaneHost, Block: -1,
+			StartNS: offset, DurNS: makespan,
+			Mispredicted: st.outcome.mispredicted, CacheHit: st.outcome.cacheHit,
+		}
+		if st.wall {
+			env.Worker = st.worker
+			env.WallNS = st.wallNS
+		}
+		out = append(out, env)
+		for _, sp := range st.spans {
+			sp.StartNS += offset
+			out = append(out, sp)
+		}
+		offset += makespan
+	}
+	return out
+}
