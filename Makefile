@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 20s
 COVER_MIN ?= 70
 
-.PHONY: build test check race race-full fmt vet lint bench fuzz cover trace
+.PHONY: build test check race race-full fmt vet lint bench fuzz cover trace serve-smoke
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,16 @@ trace:
 		-train 200 -test 40 -epochs 4 -workers 2
 	$(GO) run ./cmd/dynntrace -check trace.json
 	$(GO) run ./cmd/dynntrace trace.json
+
+# Serving smoke at CI scale: a two-tenant dynnserve run over the engine and
+# the on-demand baseline, then the offered-load sweep (max sustainable QPS at
+# the fixed p99 SLO) on one migrating model.
+serve-smoke:
+	$(GO) run ./cmd/dynnserve -model Tree-LSTM -train 200 -test 40 -epochs 4 \
+		-tenants "alpha:rate=2000,requests=60,slo=50ms,quota=0.5;beta:rate=2000,requests=60,slo=50ms,quota=0.5"
+	$(GO) run ./cmd/dynnserve -model Tree-LSTM -train 200 -test 40 -epochs 4 -ondemand \
+		-tenants "alpha:rate=2000,requests=60,slo=50ms,quota=0.5;beta:rate=2000,requests=60,slo=50ms,quota=0.5"
+	$(GO) run ./cmd/dynnbench -exp servesweep -train 200 -test 40 -epochs 4
 
 # The tier-1 gate: build, vet, formatting, project lint, full tests, and the
 # race pass over the concurrent packages.

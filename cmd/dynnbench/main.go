@@ -4,6 +4,7 @@
 //
 // Usage:
 //
+//	dynnbench -list                  # registered experiments and runners
 //	dynnbench -exp table1            # one experiment
 //	dynnbench -exp all               # everything (slow)
 //	dynnbench -exp fig7 -train 6000  # paper-scale pilot training
@@ -18,6 +19,7 @@ import (
 	"runtime"
 	"strings"
 
+	"dynnoffload"
 	"dynnoffload/internal/core"
 	"dynnoffload/internal/expt"
 	"dynnoffload/internal/faults"
@@ -26,7 +28,8 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1,table2,heuristic,largest,table3,fig7,fig8,fig9,fig10,table4,fig11,fig12,mispred,mispred-handling,overhead,parallel,faultsweep,overlap,all")
+		exp       = flag.String("exp", "all", "experiment (comma-separated): "+strings.Join(expt.ExperimentNames(), ",")+",all")
+		list      = flag.Bool("list", false, "list registered experiments and runners, then exit")
 		train     = flag.Int("train", 0, "pilot-training samples per model (default CI scale)")
 		test      = flag.Int("test", 0, "evaluation samples per model")
 		neurons   = flag.Int("neurons", 0, "pilot hidden width")
@@ -43,6 +46,11 @@ func main() {
 		serve     = flag.String("serve", "", "serve live Prometheus metrics and net/http/pprof on this address (e.g. :8080) while experiments run, then block")
 	)
 	flag.Parse()
+
+	if *list {
+		printList(os.Stdout)
+		return
+	}
 
 	opts := expt.DefaultOptions()
 	if *train > 0 {
@@ -162,15 +170,26 @@ func runTrace(path, model string, opts expt.Options, wall bool, reg *obsv.Regist
 	return nil
 }
 
+// printList writes the experiment and runner registries — the same sources
+// the -exp dispatch and usage string are built from.
+func printList(out *os.File) {
+	fmt.Fprintln(out, "experiments (-exp, * = in '-exp all'):")
+	for _, e := range expt.Experiments() {
+		marker := " "
+		if e.InAll {
+			marker = "*"
+		}
+		fmt.Fprintf(out, "  %-17s %s %s\n", e.Name, marker, e.Desc)
+	}
+	fmt.Fprintln(out, "runners (dynnoffload.RunnerNames):")
+	for _, n := range dynnoffload.RunnerNames() {
+		fmt.Fprintf(out, "  %s\n", n)
+	}
+}
+
 func run(exp string, opts expt.Options, sink obsv.Sink, statsJSON string) error {
 	out := os.Stdout
 
-	// Experiments that need the shared workbench (trained pilot).
-	needsWB := map[string]bool{
-		"fig7": true, "fig8": true, "fig9": true, "fig10": true,
-		"mispred": true, "mispred-handling": true, "overhead": true, "fig12": true,
-		"parallel": true, "faultsweep": true, "overlap": true,
-	}
 	var wb *expt.Workbench
 	getWB := func() (*expt.Workbench, error) {
 		if wb != nil {
@@ -184,72 +203,39 @@ func run(exp string, opts expt.Options, sink obsv.Sink, statsJSON string) error 
 
 	names := strings.Split(exp, ",")
 	if exp == "all" {
-		names = []string{"table1", "table2", "heuristic", "largest", "table3",
-			"fig7", "fig8", "fig9", "fig10", "table4", "fig11", "fig12",
-			"mispred", "mispred-handling", "overhead", "faultsweep", "overlap"}
+		names = expt.AllExperimentNames()
 	}
 	for _, name := range names {
-		var tab *expt.Table
+		e, ok := expt.LookupExperiment(name)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (see dynnbench -list)", name)
+		}
+		var w *expt.Workbench
 		var err error
-		switch name {
-		case "table1":
-			tab, err = expt.TableI(opts.TrainSamples*4, opts.Seed)
-		case "table2":
-			tab = expt.TableII()
-		case "heuristic":
-			tab = expt.HeuristicStudy(opts.TrainSamples*2, opts.Seed)
-		case "largest":
-			tab, err = expt.LargestModel(0, 0)
-		case "table3":
-			tab, err = expt.TableIII(0, 0, 0)
-		case "table4":
-			tab, err = expt.TableIV(opts)
-		case "fig11":
-			tab, err = expt.Fig11(opts)
-		default:
-			if !needsWB[name] {
-				return fmt.Errorf("unknown experiment %q", name)
-			}
-			var w *expt.Workbench
-			w, err = getWB()
-			if err != nil {
+		if e.NeedsWorkbench {
+			if w, err = getWB(); err != nil {
 				return err
 			}
-			switch name {
-			case "fig7":
-				tab = expt.Fig7(w)
-			case "fig8":
-				tab = expt.Fig8(w)
-			case "fig9":
-				tab = expt.Fig9(w)
-			case "fig10":
-				tab, err = expt.Fig10(w)
-			case "fig12":
-				tab = expt.Fig12(w)
-			case "mispred":
-				tab, err = expt.Mispredictions(w)
-			case "mispred-handling":
-				tab, err = expt.MispredHandling(w)
-			case "overhead":
-				tab, err = expt.Overhead(w)
-			case "faultsweep":
-				tab, err = expt.FaultSweep(w)
-			case "overlap":
-				tab, err = expt.Overlap(w)
-			case "parallel":
-				n := opts.Workers
-				if n <= 1 {
-					n = runtime.GOMAXPROCS(0)
-				}
-				var stats []obsv.RunStats
-				tab, stats = expt.ParallelSpeedup(w, n, sink)
-				if statsJSON != "" {
-					if werr := writeStatsJSON(statsJSON, stats); werr != nil {
-						return werr
-					}
-					fmt.Fprintf(out, "wrote %d RunStats records to %s\n", len(stats), statsJSON)
-				}
+		}
+		var tab *expt.Table
+		if name == "parallel" {
+			// Special case: parallel threads the CLI's JSONL sink and emits
+			// the per-model RunStats JSON, which the registry's uniform
+			// signature doesn't carry.
+			n := opts.Workers
+			if n <= 1 {
+				n = runtime.GOMAXPROCS(0)
 			}
+			var stats []obsv.RunStats
+			tab, stats = expt.ParallelSpeedup(w, n, sink)
+			if statsJSON != "" {
+				if werr := writeStatsJSON(statsJSON, stats); werr != nil {
+					return werr
+				}
+				fmt.Fprintf(out, "wrote %d RunStats records to %s\n", len(stats), statsJSON)
+			}
+		} else {
+			tab, err = e.Run(w, opts)
 		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)

@@ -1,0 +1,253 @@
+// Command dynnserve plays a multi-tenant serving workload against the
+// DyNN-Offload engine on the simulated clock: seeded arrival streams,
+// per-tenant GPU-memory quotas with load shedding, SLO-aware continuous
+// batching, and per-tenant latency aggregates. Identical flags replay
+// bit-identical results at any -workers value.
+//
+// Usage:
+//
+//	dynnserve -model Tree-LSTM
+//	dynnserve -model MoE -tenants "prio:rate=40,requests=200,slo=2s,quota=0.5;batch:rate=10,requests=50"
+//	dynnserve -model Tree-LSTM -trace serve.json -serve :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dynnoffload/internal/core"
+	"dynnoffload/internal/expt"
+	"dynnoffload/internal/faults"
+	"dynnoffload/internal/obsv"
+	"dynnoffload/internal/serve"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "Tree-LSTM", "zoo model to serve")
+		tenants = flag.String("tenants",
+			"alpha:rate=2000,requests=120,slo=50ms,quota=0.5;beta:rate=2000,requests=120,slo=50ms,quota=0.5",
+			"tenant specs, ';'-separated: name:rate=R[,requests=N][,slo=DUR][,quota=FRACTION][,maxqueue=Q][,seed=S]")
+		maxBatch  = flag.Int("maxbatch", 0, "continuous-batch size bound (0 = default)")
+		starve    = flag.Duration("starve", 0, "starvation guard age (0 = derive from SLOs, negative = off)")
+		onDemand  = flag.Bool("ondemand", false, "force the always-on-demand baseline engine")
+		train     = flag.Int("train", 0, "pilot-training samples (default CI scale)")
+		test      = flag.Int("test", 0, "request-pool samples")
+		neurons   = flag.Int("neurons", 0, "pilot hidden width")
+		epochs    = flag.Int("epochs", 0, "pilot training epochs")
+		batch     = flag.Int("batch", 0, "DyNN batch size")
+		seed      = flag.Uint64("seed", 42, "base seed (tenant seeds derive from it)")
+		workers   = flag.Int("workers", 0, "engine fan-out per dispatched batch (0 = GOMAXPROCS)")
+		faultSpec = flag.String("faults", "", "deterministic fault injection, e.g. seed=7,rate=0.05[,stall=4]")
+		traceFile = flag.String("trace", "", "write the serving trace (queue + device spans) as Chrome Trace Event JSON")
+		addr      = flag.String("serve", "", "serve live Prometheus metrics and pprof on this address, then block")
+	)
+	flag.Parse()
+
+	opts := expt.DefaultOptions()
+	if *train > 0 {
+		opts.TrainSamples = *train
+	}
+	if *test > 0 {
+		opts.TestSamples = *test
+	}
+	if *neurons > 0 {
+		opts.Neurons = *neurons
+	}
+	if *epochs > 0 {
+		opts.Epochs = *epochs
+	}
+	if *batch > 0 {
+		opts.Batch = *batch
+	}
+	opts.Seed = *seed
+	if err := run(*model, *tenants, opts, settings{
+		maxBatch: *maxBatch, starveNS: int64(*starve), onDemand: *onDemand,
+		workers: *workers, faultSpec: *faultSpec, traceFile: *traceFile, addr: *addr,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "dynnserve:", err)
+		os.Exit(1)
+	}
+}
+
+type settings struct {
+	maxBatch  int
+	starveNS  int64
+	onDemand  bool
+	workers   int
+	faultSpec string
+	traceFile string
+	addr      string
+}
+
+func run(model, tenantSpec string, opts expt.Options, st settings) error {
+	if st.faultSpec != "" {
+		fc, err := faults.ParseSpec(st.faultSpec)
+		if err != nil {
+			return err
+		}
+		opts.Faults = fc
+	}
+
+	fmt.Printf("building %s bench + pilot...\n", model)
+	wb, err := expt.NewSingleModelWorkbench(model, opts)
+	if err != nil {
+		return err
+	}
+	mb := wb.Models[0]
+
+	tcs, err := parseTenants(tenantSpec, mb.Platform.GPU.MemBytes, opts.Seed)
+	if err != nil {
+		return err
+	}
+	cfg := serve.Config{
+		Tenants:         tcs,
+		MaxBatch:        st.maxBatch,
+		StarvationAgeNS: st.starveNS,
+		Workers:         st.workers,
+	}
+	if st.traceFile != "" {
+		cfg.Tracer = obsv.NewTracer()
+	}
+	var reg *obsv.Registry
+	if st.addr != "" {
+		reg = obsv.NewRegistry()
+		cfg.Registry = reg
+		go func() {
+			if err := http.ListenAndServe(st.addr, obsv.NewServeMux(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "dynnserve: serve:", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("serving /metrics and /debug/pprof on %s\n", st.addr)
+	}
+
+	ecfg := core.DefaultConfig(mb.Platform)
+	ecfg.ForceOnDemand = st.onDemand
+	ecfg.MemoizeSamples = !st.onDemand
+	if opts.Faults.Rate > 0 {
+		ecfg.Faults = faults.New(opts.Faults)
+	}
+	eng := core.NewEngine(ecfg, wb.Pilot)
+
+	rep, err := serve.Run(&serve.Backend{Engine: eng, Pool: mb.Test}, cfg)
+	if err != nil {
+		return err
+	}
+	report(os.Stdout, model, rep)
+
+	if st.traceFile != "" {
+		if err := writeTrace(st.traceFile, model, mb.Platform.Link.BW, cfg.Tracer); err != nil {
+			return err
+		}
+	}
+	if st.addr != "" {
+		fmt.Printf("done; still serving on %s (interrupt to exit)\n", st.addr)
+		select {}
+	}
+	return nil
+}
+
+// parseTenants parses the ';'-separated tenant spec list. Quotas are device
+// fractions; unset seeds derive from the base seed and the tenant's position.
+func parseTenants(spec string, gpuMem int64, baseSeed uint64) ([]serve.TenantConfig, error) {
+	var tcs []serve.TenantConfig
+	for i, one := range strings.Split(spec, ";") {
+		one = strings.TrimSpace(one)
+		if one == "" {
+			continue
+		}
+		name, kvs, ok := strings.Cut(one, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant spec %q: want name:key=value,...", one)
+		}
+		tc := serve.TenantConfig{Name: name, Requests: 100, Seed: baseSeed + uint64(i+1)*7919}
+		for _, kv := range strings.Split(kvs, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("tenant %q: bad pair %q", name, kv)
+			}
+			var err error
+			switch k {
+			case "rate":
+				tc.RatePerSec, err = strconv.ParseFloat(v, 64)
+			case "requests":
+				tc.Requests, err = strconv.Atoi(v)
+			case "slo":
+				var d time.Duration
+				d, err = time.ParseDuration(v)
+				tc.SLONS = int64(d)
+			case "quota":
+				var f float64
+				f, err = strconv.ParseFloat(v, 64)
+				tc.QuotaBytes = int64(f * float64(gpuMem))
+			case "maxqueue":
+				tc.MaxQueue, err = strconv.Atoi(v)
+			case "seed":
+				tc.Seed, err = strconv.ParseUint(v, 10, 64)
+			default:
+				err = fmt.Errorf("unknown key %q", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("tenant %q: %s: %v", name, kv, err)
+			}
+		}
+		tcs = append(tcs, tc)
+	}
+	return tcs, nil
+}
+
+// report prints the per-tenant and total serving summaries.
+func report(out *os.File, model string, rep *serve.Report) {
+	tab := &expt.Table{
+		Title:  fmt.Sprintf("Serving %s (simulated time)", model),
+		Header: []string{"tenant", "arrivals", "done", "shed", "quota-shed", "p50-ms", "p99-ms", "p999-ms", "viol", "queue-ms", "peak-MiB"},
+	}
+	row := func(name string, s obsv.ServeStats) []string {
+		return []string{
+			name,
+			strconv.FormatInt(s.Arrivals, 10),
+			strconv.FormatInt(s.Completed, 10),
+			strconv.FormatInt(s.Shed, 10),
+			strconv.FormatInt(s.QuotaShed, 10),
+			msf(s.P50NS), msf(s.P99NS), msf(s.P999NS),
+			strconv.FormatInt(s.SLOViolations, 10),
+			msf(s.QueueMeanNS),
+			fmt.Sprintf("%.1f", float64(s.QuotaPeakBytes)/(1<<20)),
+		}
+	}
+	for _, tr := range rep.Tenants {
+		tab.Rows = append(tab.Rows, row(tr.Name, tr.Stats))
+	}
+	tab.Rows = append(tab.Rows, row("TOTAL", rep.Total))
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("makespan %.3f ms simulated; %d batches, mean size %.2f; device high-water %.1f MiB",
+			float64(rep.MakespanNS)/1e6, rep.Total.Batches, rep.MeanBatchSize,
+			float64(rep.DeviceHighWater)/(1<<20)))
+	tab.Fprint(out)
+}
+
+func msf(ns int64) string { return fmt.Sprintf("%.2f", float64(ns)/1e6) }
+
+// writeTrace dumps the serving span set (queue waits on the host lane plus
+// the engine's device spans) as a Chrome Trace Event file.
+func writeTrace(path, model string, linkBW float64, tracer *obsv.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans := tracer.Spans()
+	meta := obsv.ChromeMeta{Label: model + " (serving)", LinkBWBytesPerSec: linkBW, Samples: tracer.SampleCount()}
+	if err := obsv.WriteChromeTrace(f, spans, meta); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d spans (%d requests) to %s\n", len(spans), tracer.SampleCount(), path)
+	fmt.Println("inspect: dynntrace", path, " — or load into https://ui.perfetto.dev")
+	return nil
+}

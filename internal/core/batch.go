@@ -1,0 +1,107 @@
+package core
+
+import (
+	"runtime"
+
+	"dynnoffload/internal/obsv"
+	"dynnoffload/internal/pilot"
+)
+
+// RunBatch is the batched dispatch entry point for the serving layer: it
+// executes a set of samples as one dispatch group through the same
+// three-phase pipeline as ParallelRunEpoch (concurrent pilot resolution, a
+// serial cache pass in input order, concurrent simulation) but returns the
+// per-sample results in input order instead of folding them into an epoch
+// aggregate — a scheduler needs each request's own breakdown to account
+// latency per tenant.
+//
+// The determinism contract carries over: for a fixed engine state and input
+// order, the results (and the mis-prediction cache evolution they imprint on
+// the engine) are bit-identical at any worker count, fault-free or faulted.
+// Unlike ParallelRunEpoch, an error on any sample fails the whole batch —
+// a dispatch either completes or it doesn't; partial batches would make the
+// serving clock ambiguous.
+func (e *Engine) RunBatch(exs []*pilot.Example, opts EpochOptions) ([]SampleResult, error) {
+	if e.Pilot == nil || !e.Pilot.Trained() {
+		return nil, ErrPilotNotTrained
+	}
+	if len(exs) == 0 {
+		return nil, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exs) {
+		workers = len(exs)
+	}
+	rec := opts.Recorder
+
+	// Phase 1: concurrent pilot resolution.
+	resolutions := make([]pilot.Resolution, len(exs))
+	resolveErrs := make([]error, len(exs))
+	fanOut(len(exs), workers, func(i, _ int) {
+		resolutions[i], resolveErrs[i] = e.Pilot.Resolve(exs[i])
+		if rec != nil && resolveErrs[i] == nil {
+			rec.ObservePhase(PhasePilot, resolutions[i].InferNS)
+			rec.ObservePhase(PhaseMapping, resolutions[i].MapNS)
+		}
+	})
+	for _, err := range resolveErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: serial cache pass in input order — the only order-dependent
+	// stage, exactly as in ParallelRunEpoch.
+	decisions := make([]decision, len(exs))
+	for i, ex := range exs {
+		d, err := e.decide(ex, &resolutions[i])
+		if err != nil {
+			return nil, err
+		}
+		decisions[i] = d
+	}
+
+	// Phase 3: concurrent simulation into a per-index result slice.
+	results := make([]SampleResult, len(exs))
+	simErrs := make([]error, len(exs))
+	fanOut(len(exs), workers, func(i, w int) {
+		res := &results[i]
+		res.PilotNS = resolutions[i].InferNS
+		res.MappingNS = resolutions[i].MapNS
+		res.Mispredicted = decisions[i].mispredicted
+		res.CacheHit = decisions[i].cacheHit
+		st := opts.Tracer.Sample(opts.TraceBase + i)
+		st.SetWorker(w)
+		st.StartWall()
+		st.Instant(obsv.SpanPilot, res.PilotNS)
+		st.Instant(obsv.SpanMapping, res.MappingNS)
+		st.Outcome(res.Mispredicted, res.CacheHit)
+		simSW := obsv.StartTimer()
+		fs := e.faultStream(exs[i])
+		var err error
+		res.Breakdown, err = e.simulate(decisions[i], fs, st)
+		st.StopWall()
+		if err != nil {
+			simErrs[i] = err
+			return
+		}
+		res.FaultCounters = fs.Counters()
+		res.Breakdown.OverheadNS += res.PilotNS + res.MappingNS
+		if rec != nil {
+			rec.ObservePhase(PhaseSimulate, simSW.ElapsedNS())
+			rec.ObserveSample(opts.TraceBase+i, res.Mispredicted, res.CacheHit, res.Breakdown.TotalNS())
+			if fs != nil {
+				rec.ObserveFaults(faultStats(fs.Counters()))
+			}
+		}
+	})
+	for _, err := range simErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

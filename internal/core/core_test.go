@@ -111,6 +111,57 @@ func TestMispredictionCacheReduces(t *testing.T) {
 	}
 }
 
+// TestMemoizeSamples: with the sample memo on, a re-submitted request that
+// mis-predicted the first time resolves from the memo (no second
+// mis-prediction); with the memo off (the default), the mis-prediction
+// repeats.
+func TestMemoizeSamples(t *testing.T) {
+	_, test, p, plat := testBench(t)
+	cfg := DefaultConfig(plat)
+	cfg.HandleMispredictions = false // isolate the memo from the §IV-E cache
+	cfg.MemoizeSamples = true
+	eng := NewEngine(cfg, p)
+	var ex *pilot.Example
+	for _, cand := range test {
+		res, err := eng.RunSample(cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Mispredicted {
+			ex = cand
+			break
+		}
+	}
+	if ex == nil {
+		t.Skip("fixture produced no mis-prediction to memoize")
+	}
+	again, err := eng.RunSample(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Mispredicted {
+		t.Error("memoized re-submission still mis-predicted")
+	}
+	if !again.CacheHit {
+		t.Error("memo resolution not flagged as a cache hit")
+	}
+
+	offCfg := DefaultConfig(plat)
+	offCfg.HandleMispredictions = false
+	off := NewEngine(offCfg, p)
+	first, err := off.RunSample(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := off.RunSample(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Mispredicted || !second.Mispredicted {
+		t.Error("memo off: the mis-prediction should repeat on re-submission")
+	}
+}
+
 func TestPipelinedNoWorseThanOnDemand(t *testing.T) {
 	ctx, _, _, plat := testBench(t)
 	eng := NewEngine(DefaultConfig(plat), nil)

@@ -57,6 +57,15 @@ type Config struct {
 	// ForceOnDemand routes every sample through the on-demand path,
 	// regardless of prediction outcome — the FaultSweep baseline.
 	ForceOnDemand bool
+	// MemoizeSamples remembers the resolved path of every mis-predicted
+	// sample by its sample ID, so a re-submitted identical request prefetches
+	// the recorded path instead of repeating the mis-prediction — the online
+	// analog of the §IV-E cache for serving, where the same request recurs
+	// (the cache's output keys cannot help there when the pilot is
+	// confidently wrong: an exact-but-wrong match never engages it). Off by
+	// default: training epochs measure pilot quality, and a sample memo would
+	// hide every mis-prediction after the first epoch.
+	MemoizeSamples bool
 }
 
 // RetryPolicy bounds retry-with-exponential-backoff: a faulted operation is
@@ -98,6 +107,9 @@ type Engine struct {
 
 	// mis-prediction cache: cache key -> corrected path key.
 	cache *shardedCache
+	// sample memo (Config.MemoizeSamples): sample ID -> resolved path key of
+	// a previously executed mis-predicted request.
+	memo *shardedCache
 }
 
 // NewEngine builds a runtime around a trained pilot.
@@ -108,7 +120,10 @@ func NewEngine(cfg Config, p *pilot.Pilot) *Engine {
 	if cfg.Retry.BackoffNS <= 0 {
 		cfg.Retry.BackoffNS = DefaultRetryBackoffNS
 	}
-	return &Engine{Cfg: cfg, CM: gpusim.NewCostModel(cfg.Platform), Pilot: p, cache: newShardedCache()}
+	return &Engine{
+		Cfg: cfg, CM: gpusim.NewCostModel(cfg.Platform), Pilot: p,
+		cache: newShardedCache(), memo: newShardedCache(),
+	}
 }
 
 // SampleResult reports one simulated training iteration of one sample.
@@ -200,6 +215,16 @@ func (e *Engine) decide(ex *pilot.Example, resolution *pilot.Resolution) (decisi
 			d.cacheHit = true
 		}
 	}
+	// The sample memo (serving): a request seen before reuses its recorded
+	// resolution, overriding the pilot even on an exact-but-wrong match.
+	memoKey := ""
+	if e.Cfg.MemoizeSamples && ex.Sample != nil {
+		memoKey = strconv.Itoa(ex.Sample.ID)
+		if resolved, ok := e.memo.Lookup(memoKey); ok {
+			predKey = resolved
+			d.cacheHit = true
+		}
+	}
 
 	d.truth = ex.Ctx.PathByKey(ex.TruthKey)
 	if d.truth == nil {
@@ -210,10 +235,15 @@ func (e *Engine) decide(ex *pilot.Example, resolution *pilot.Resolution) (decisi
 	}
 
 	d.mispredicted = predKey != ex.TruthKey
-	if d.mispredicted && cacheKey != "" {
-		// Record the corrected resolution for future identical outputs and
-		// for the next offline pilot-training round.
-		e.cache.Insert(cacheKey, ex.TruthKey)
+	if d.mispredicted {
+		if cacheKey != "" {
+			// Record the corrected resolution for future identical outputs
+			// and for the next offline pilot-training round.
+			e.cache.Insert(cacheKey, ex.TruthKey)
+		}
+		if memoKey != "" {
+			e.memo.Insert(memoKey, ex.TruthKey)
+		}
 	}
 	return d, nil
 }

@@ -20,6 +20,10 @@ type EpochOptions struct {
 	// clock. The resulting span set is bit-identical at any worker count
 	// unless the tracer runs in wall mode.
 	Tracer *obsv.Tracer
+	// TraceBase offsets the tracer sample indices: sample i registers as
+	// TraceBase+i. The serving layer uses it to give every request of a run a
+	// distinct trace slot across many RunBatch dispatches; epochs leave it 0.
+	TraceBase int
 }
 
 // Observability phase names recorded by ParallelRunEpoch.

@@ -56,6 +56,47 @@ func TestScaleThroughput(t *testing.T) {
 	}
 }
 
+func TestRingAllReduceEdges(t *testing.T) {
+	link := gpusim.LinkSpec{BW: 10e9, LatencyNS: 1000}
+	// Degenerate group sizes: no ring, no time.
+	for _, g := range []int{1, 0, -3} {
+		if got := RingAllReduceNS(link, 1<<30, g); got != 0 {
+			t.Errorf("gpus=%d: all-reduce = %d, want 0", g, got)
+		}
+	}
+	// Zero bytes still pays the per-step link latency: 2(g-1) steps.
+	for _, g := range []int{2, 4, 8} {
+		want := int64(2*(g-1)) * link.LatencyNS
+		if got := RingAllReduceNS(link, 0, g); got != want {
+			t.Errorf("gpus=%d zero bytes: all-reduce = %d, want %d", g, got, want)
+		}
+	}
+}
+
+// TestScaleCrossNodeLinkFallback: GPU counts beyond the platform's per-node
+// GPU count leave the NVLink-class interconnect and fall back to the PCIe
+// link, so the all-reduce at the first cross-node point is slower than ideal
+// intra-node scaling would predict.
+func TestScaleCrossNodeLinkFallback(t *testing.T) {
+	plat := gpusim.A100Platform() // 4 GPUs per node
+	cfg := Config{Platform: plat, NumGPUs: 16, GradBytes: 1 << 28, PerGPUBatch: 20}
+	res, err := Scale(cfg, 50_000_000, 0, 0, []int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra4, cross8 := res[1].AllReduceNS, res[2].AllReduceNS
+	if want := RingAllReduceNS(plat.InterGPU, cfg.GradBytes, 4); intra4 != want {
+		t.Errorf("4-GPU all-reduce = %d, want intra-node %d", intra4, want)
+	}
+	if want := RingAllReduceNS(plat.Link, cfg.GradBytes, 8); cross8 != want {
+		t.Errorf("8-GPU all-reduce = %d, want PCIe fallback %d", cross8, want)
+	}
+	// The PCIe fallback must actually cost more than staying on NVLink would.
+	if onNVLink := RingAllReduceNS(plat.InterGPU, cfg.GradBytes, 8); cross8 <= onNVLink {
+		t.Errorf("cross-node fallback %d not slower than NVLink %d", cross8, onNVLink)
+	}
+}
+
 func TestScaleErrors(t *testing.T) {
 	cfg := Config{Platform: gpusim.A100Platform(), NumGPUs: 4, GradBytes: 1, PerGPUBatch: 1}
 	if _, err := Scale(cfg, 1, 0, 0, []int{8}); err == nil {

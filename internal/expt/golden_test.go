@@ -114,6 +114,18 @@ func TestGoldenFig11(t *testing.T) {
 	goldenCheck(t, "fig11", tab)
 }
 
+func TestGoldenServeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workbench construction is expensive")
+	}
+	tab, err := ServeSweep(testWorkbench(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every column is virtual time or seeded arithmetic: nothing to mask.
+	goldenCheck(t, "servesweep", tab)
+}
+
 func TestGoldenFig10(t *testing.T) {
 	if testing.Short() {
 		t.Skip("workbench construction is expensive")

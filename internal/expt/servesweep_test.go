@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeSweepEngineBeatsOnDemand pins the serving headline: on every
+// migrating zoo model, the engine sustains a strictly higher offered load than
+// the always-on-demand baseline at the same p99 SLO.
+func TestServeSweepEngineBeatsOnDemand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workbench construction is expensive")
+	}
+	wb := testWorkbench(t)
+	var migrating int
+	for _, mb := range wb.Models {
+		row, err := wb.sweepModel(mb)
+		if err != nil {
+			t.Fatalf("%s: %v", mb.Entry.Name, err)
+		}
+		if !row.migrating {
+			continue
+		}
+		migrating++
+		if row.engineQPS <= row.odQPS {
+			t.Errorf("%s: engine maxQPS %.0f not above on-demand %.0f (SLO %dns)",
+				row.name, row.engineQPS, row.odQPS, row.sloNS)
+		}
+	}
+	if migrating == 0 {
+		t.Fatal("no migrating models in the sweep — the comparison tested nothing")
+	}
+}
+
+func TestServeSweepTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workbench construction is expensive")
+	}
+	wb := testWorkbench(t)
+	tab, err := ServeSweep(wb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(wb.Models) {
+		t.Fatalf("rows = %d, want one per zoo model (%d)", len(tab.Rows), len(wb.Models))
+	}
+	for _, row := range tab.Rows {
+		if row[1] != "yes" && !strings.HasPrefix(row[1], "no") {
+			t.Errorf("row %v has no migrating marker", row)
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) != len(Experiments()) {
+		t.Fatal("name list and registry length differ")
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate experiment name %q", n)
+		}
+		seen[n] = true
+		if _, ok := LookupExperiment(n); !ok {
+			t.Errorf("LookupExperiment(%q) missed a registered name", n)
+		}
+	}
+	for _, must := range []string{"table1", "fig7", "faultsweep", "overlap", "servesweep", "parallel"} {
+		if !seen[must] {
+			t.Errorf("registry missing %q", must)
+		}
+	}
+	if _, ok := LookupExperiment("nope"); ok {
+		t.Error("LookupExperiment accepted an unknown name")
+	}
+	all := AllExperimentNames()
+	for _, n := range all {
+		if n == "parallel" || n == "servesweep" {
+			t.Errorf("%q should be excluded from -exp all", n)
+		}
+	}
+	if len(all) == 0 || len(all) >= len(names) {
+		t.Errorf("all-list size %d should be a strict non-empty subset of %d", len(all), len(names))
+	}
+}

@@ -27,12 +27,32 @@ var (
 // not find a contiguous extent even when total free space suffices.
 // Evicting everything first coalesces the space. The ablation benchmark
 // BenchmarkEvictThenPrefetch measures the difference.
+//
+// The allocator also carries the serving layer's reservation/quota
+// accounting (see quota.go): every placement is attributed to an owner
+// (the empty owner for plain Alloc/TryAlloc), per-owner usage and peaks are
+// tracked, and owners with a quota set are refused placements that would
+// exceed it.
 type Allocator struct {
 	Capacity int64
-	blocks   map[int64][2]int64 // id -> {offset, size}
-	frees    [][2]int64         // sorted by offset
+	blocks   map[int64]extent // id -> placement
+	frees    [][2]int64       // sorted by offset
 
 	fs *faults.Stream
+
+	// Reservation/quota accounting (quota.go).
+	used      int64
+	highWater int64
+	quotas    map[string]int64
+	ownerUsed map[string]int64
+	ownerPeak map[string]int64
+}
+
+// extent is one placed block: its address range and the owner it is
+// accounted to.
+type extent struct {
+	off, size int64
+	owner     string
 }
 
 // AllocOption configures NewAllocator.
@@ -47,9 +67,12 @@ func WithAllocFaults(fs *faults.Stream) AllocOption {
 // NewAllocator creates an allocator over capacity bytes.
 func NewAllocator(capacity int64, opts ...AllocOption) *Allocator {
 	a := &Allocator{
-		Capacity: capacity,
-		blocks:   map[int64][2]int64{},
-		frees:    [][2]int64{{0, capacity}},
+		Capacity:  capacity,
+		blocks:    map[int64]extent{},
+		frees:     [][2]int64{{0, capacity}},
+		quotas:    map[string]int64{},
+		ownerUsed: map[string]int64{},
+		ownerPeak: map[string]int64{},
 	}
 	for _, o := range opts {
 		o(a)
@@ -57,21 +80,27 @@ func NewAllocator(capacity int64, opts ...AllocOption) *Allocator {
 	return a
 }
 
-// Alloc places a tensor, first-fit. Returns false when no contiguous free
-// extent is large enough (even if total free space would suffice —
-// fragmentation).
+// Alloc places a tensor, first-fit, accounted to the empty owner. Returns
+// false when no contiguous free extent is large enough (even if total free
+// space would suffice — fragmentation).
 func (a *Allocator) Alloc(id, size int64) bool {
+	return a.alloc("", id, size)
+}
+
+// alloc is the shared first-fit placement, attributing the block to owner.
+func (a *Allocator) alloc(owner string, id, size int64) bool {
 	if _, dup := a.blocks[id]; dup {
 		return true
 	}
 	for i, f := range a.frees {
 		if f[1] >= size {
-			a.blocks[id] = [2]int64{f[0], size}
+			a.blocks[id] = extent{off: f[0], size: size, owner: owner}
 			if f[1] == size {
 				a.frees = append(a.frees[:i], a.frees[i+1:]...)
 			} else {
 				a.frees[i] = [2]int64{f[0] + size, f[1] - size}
 			}
+			a.account(owner, size)
 			return true
 		}
 	}
@@ -102,7 +131,8 @@ func (a *Allocator) Free(id int64) {
 		return
 	}
 	delete(a.blocks, id)
-	a.frees = append(a.frees, b)
+	a.unaccount(b.owner, b.size)
+	a.frees = append(a.frees, [2]int64{b.off, b.size})
 	sort.Slice(a.frees, func(i, j int) bool { return a.frees[i][0] < a.frees[j][0] })
 	coalesced := a.frees[:1]
 	for _, f := range a.frees[1:] {
@@ -146,8 +176,13 @@ func (a *Allocator) Fragmentation() float64 {
 	return 1 - float64(a.LargestExtent())/float64(total)
 }
 
-// Reset returns the allocator to one empty extent.
+// Reset returns the allocator to one empty extent. Quotas persist; usage,
+// per-owner usage, and high-water marks reset with the space.
 func (a *Allocator) Reset() {
-	a.blocks = map[int64][2]int64{}
+	a.blocks = map[int64]extent{}
 	a.frees = [][2]int64{{0, a.Capacity}}
+	a.used = 0
+	a.highWater = 0
+	a.ownerUsed = map[string]int64{}
+	a.ownerPeak = map[string]int64{}
 }

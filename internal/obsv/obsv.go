@@ -147,6 +147,7 @@ type RunStats struct {
 	CacheHitRate   float64                   `json:"cache_hit_rate"` // hits / samples
 	Faults         *FaultStats               `json:"faults,omitempty"`
 	Overlap        *OverlapStats             `json:"overlap,omitempty"`
+	Serve          *ServeStats               `json:"serve,omitempty"`
 	Phases         map[string]HistogramStats `json:"phases,omitempty"`
 	// SinkDropped counts events the sink failed to write (see JSONLSink);
 	// SinkErr holds the first write error's text.
@@ -172,6 +173,9 @@ type Recorder struct {
 
 	overlapMu sync.Mutex
 	overlap   *OverlapStats
+
+	serveMu sync.Mutex
+	serve   *ServeStats
 
 	phases sync.Map // string -> *Histogram
 
@@ -267,6 +271,12 @@ func (r *Recorder) Snapshot() RunStats {
 		s.Overlap = &o
 	}
 	r.overlapMu.Unlock()
+	r.serveMu.Lock()
+	if r.serve != nil {
+		sv := *r.serve
+		s.Serve = &sv
+	}
+	r.serveMu.Unlock()
 	if d, ok := r.sink.(interface{ Dropped() int64 }); ok {
 		s.SinkDropped = d.Dropped()
 	}

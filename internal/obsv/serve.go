@@ -101,6 +101,38 @@ func (g *Registry) WritePrometheus(w io.Writer) {
 					run+",stream="+quoteLabel(lane), o.LaneUtil[lane])
 			}
 		}
+		if s.Serve != nil {
+			sv := s.Serve
+			sl := run
+			if sv.Tenant != "" {
+				sl += ",tenant=" + quoteLabel(sv.Tenant)
+			}
+			add("dynn_serve_arrivals_total", "Serving requests offered.", "counter", sl, float64(sv.Arrivals))
+			add("dynn_serve_completed_total", "Serving requests completed.", "counter", sl, float64(sv.Completed))
+			add("dynn_serve_shed_total", "Requests refused at admission.", "counter",
+				sl+`,reason="backpressure"`, float64(sv.Shed))
+			add("dynn_serve_shed_total", "Requests refused at admission.", "counter",
+				sl+`,reason="quota"`, float64(sv.QuotaShed))
+			add("dynn_serve_slo_violations_total", "Completed requests past their deadline.", "counter",
+				sl, float64(sv.SLOViolations))
+			if sv.Batches > 0 {
+				add("dynn_serve_batches_total", "Continuous-batch dispatches.", "counter", sl, float64(sv.Batches))
+			}
+			for _, q := range []struct {
+				q  string
+				ns int64
+			}{{"0.5", sv.P50NS}, {"0.99", sv.P99NS}, {"0.999", sv.P999NS}} {
+				add("dynn_serve_latency_seconds", "End-to-end request latency quantiles (simulated, exact).", "gauge",
+					sl+",quantile="+quoteLabel(q.q), float64(q.ns)/1e9)
+			}
+			if sv.QuotaBytes > 0 {
+				add("dynn_serve_quota_bytes", "Configured tenant memory quota.", "gauge", sl, float64(sv.QuotaBytes))
+			}
+			if sv.QuotaPeakBytes > 0 {
+				add("dynn_serve_quota_peak_bytes", "Peak reserved bytes under the quota.", "gauge",
+					sl, float64(sv.QuotaPeakBytes))
+			}
+		}
 		for _, name := range sortedKeys(s.Phases) {
 			h := s.Phases[name]
 			ph := run + ",phase=" + quoteLabel(name)

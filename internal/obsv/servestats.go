@@ -1,0 +1,45 @@
+package obsv
+
+// ServeStats summarizes one serving run (or one tenant's slice of it) on the
+// simulated clock: how much load arrived, how much was admitted versus shed,
+// and the exact end-to-end latency quantiles. Unlike the phase Histograms —
+// whose quantiles are power-of-two bucket bounds — the serving layer computes
+// these quantiles exactly from its sorted per-request latencies, because SLO
+// attainment is the quantity under test, not a diagnostic. Defined here (like
+// FaultStats) so obsv keeps zero dependencies on the rest of the repo.
+type ServeStats struct {
+	Tenant   string `json:"tenant,omitempty"`
+	Arrivals int64  `json:"arrivals"`
+	// Shed counts requests refused at admission because the tenant's queue
+	// was full (backpressure); QuotaShed counts refusals because the request
+	// could never fit the tenant's memory quota.
+	Shed      int64 `json:"shed"`
+	QuotaShed int64 `json:"quota_shed"`
+	Completed int64 `json:"completed"`
+	// Batches is the number of continuous-batch dispatches (global view only;
+	// zero on per-tenant stats).
+	Batches int64 `json:"batches,omitempty"`
+	// SLONS is the configured deadline budget; SLOViolations counts completed
+	// requests whose end-to-end latency exceeded it.
+	SLONS         int64 `json:"slo_ns,omitempty"`
+	SLOViolations int64 `json:"slo_violations"`
+	// End-to-end latency (arrival to completion, simulated ns), exact.
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
+	MaxNS  int64 `json:"max_ns"`
+	// Mean time a completed request spent queued before its batch dispatched.
+	QueueMeanNS int64 `json:"queue_mean_ns"`
+	// Memory accounting from the allocator's reservation layer.
+	QuotaBytes     int64 `json:"quota_bytes,omitempty"`
+	QuotaPeakBytes int64 `json:"quota_peak_bytes,omitempty"`
+}
+
+// SetServe attaches a serving summary so it rides along in RunStats and the
+// Prometheus exposition, mirroring SetOverlap.
+func (r *Recorder) SetServe(s ServeStats) {
+	r.serveMu.Lock()
+	r.serve = &s
+	r.serveMu.Unlock()
+}

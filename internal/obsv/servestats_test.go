@@ -1,0 +1,100 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServeStatsInSnapshotAndPrometheus(t *testing.T) {
+	rec := NewRecorder("serve/tenant-a", 1, nil)
+	rec.SetServe(ServeStats{
+		Tenant: "tenant-a", Arrivals: 100, Shed: 5, QuotaShed: 2,
+		Completed: 93, SLONS: 1e6, SLOViolations: 3,
+		MeanNS: 4000, P50NS: 3500, P99NS: 9000, P999NS: 9500, MaxNS: 9600,
+		QuotaBytes: 1 << 20, QuotaPeakBytes: 1 << 19,
+	})
+	s := rec.Snapshot()
+	if s.Serve == nil || s.Serve.Arrivals != 100 || s.Serve.Completed != 93 {
+		t.Fatalf("serve block missing or wrong: %+v", s.Serve)
+	}
+
+	g := NewRegistry()
+	g.Register(rec)
+	var b strings.Builder
+	g.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`dynn_serve_arrivals_total{run="serve/tenant-a",tenant="tenant-a"} 100`,
+		`dynn_serve_shed_total{run="serve/tenant-a",tenant="tenant-a",reason="backpressure"} 5`,
+		`dynn_serve_shed_total{run="serve/tenant-a",tenant="tenant-a",reason="quota"} 2`,
+		`dynn_serve_slo_violations_total{run="serve/tenant-a",tenant="tenant-a"} 3`,
+		`dynn_serve_latency_seconds{run="serve/tenant-a",tenant="tenant-a",quantile="0.99"} 9e-06`,
+		`dynn_serve_quota_bytes{run="serve/tenant-a",tenant="tenant-a"} 1.048576e+06`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestSampleTraceShiftAndQueueSpan(t *testing.T) {
+	tr := NewTracer()
+	st := tr.Sample(7)
+	st.Span(SpanCompute, LaneCompute, 0, 0, 100, 0)
+	st.Span(SpanPrefetch, LaneH2D, 1, 40, 60, 512)
+	st.Shift(250)
+	st.Span(SpanQueue, LaneHost, -1, 0, 250, 0)
+
+	if got := tr.At(7); got != st {
+		t.Fatalf("At(7) = %p, want %p", got, st)
+	}
+	if tr.At(3) != nil {
+		t.Error("At(3) should be nil for unregistered index")
+	}
+
+	var compute, queue *Span
+	for i := range st.spans {
+		switch st.spans[i].Kind {
+		case SpanCompute:
+			compute = &st.spans[i]
+		case SpanQueue:
+			queue = &st.spans[i]
+		}
+	}
+	if compute == nil || compute.StartNS != 250 {
+		t.Errorf("compute span not shifted: %+v", compute)
+	}
+	if queue == nil || queue.StartNS != 0 || queue.DurNS != 250 {
+		t.Errorf("queue span wrong: %+v", queue)
+	}
+	if st.makespanNS() != 350 {
+		t.Errorf("makespan = %d, want 350", st.makespanNS())
+	}
+
+	// Queue spans survive the Chrome round trip like any other kind.
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, tr.Spans(), ChromeMeta{Samples: 1}); err != nil {
+		t.Fatal(err)
+	}
+	spans, _, err := ReadChromeTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sp := range spans {
+		if sp.Kind == SpanQueue && sp.DurNS == 250 && sp.Lane == LaneHost {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("queue span lost in round trip: %+v", spans)
+	}
+
+	// Nil-safety matches the rest of the SampleTrace API.
+	var nilST *SampleTrace
+	nilST.Shift(10)
+	var nilTr *Tracer
+	if nilTr.At(0) != nil {
+		t.Error("nil tracer At should be nil")
+	}
+}

@@ -45,6 +45,10 @@ const (
 	// SpanFault is the tensor-fault handler round trip charged when a sample
 	// degrades to on-demand fetching.
 	SpanFault SpanKind = "fault"
+	// SpanQueue is a serving request's wait in the admission queue before its
+	// batch dispatched (host lane; simulated ns). Timeline reconstruction
+	// ignores it — queueing is scheduler state, not device occupancy.
+	SpanQueue SpanKind = "queue"
 )
 
 // Lane names for Span.Lane. Compute/H2D/D2H mirror gpusim's three hardware
@@ -140,6 +144,18 @@ func (st *SampleTrace) Outcome(mispredicted, cacheHit bool) {
 		return
 	}
 	st.outcome = outcome{set: true, mispredicted: mispredicted, cacheHit: cacheHit}
+}
+
+// Shift moves every span recorded so far deltaNS later on the simulated
+// clock. The serving layer uses it to push a request's engine spans past its
+// queue wait before recording the SpanQueue interval at the origin.
+func (st *SampleTrace) Shift(deltaNS int64) {
+	if st == nil || deltaNS == 0 {
+		return
+	}
+	for i := range st.spans {
+		st.spans[i].StartNS += deltaNS
+	}
 }
 
 type outcome struct {

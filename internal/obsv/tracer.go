@@ -83,6 +83,18 @@ func (st *SampleTrace) StopWall() {
 	st.wallNS = st.wallSW.ElapsedNS()
 }
 
+// At returns the already-registered trace for one sample index, nil when the
+// index was never registered (or the tracer is nil). The serving layer uses
+// it to annotate a request's trace with queue spans after its batch returns.
+func (t *Tracer) At(idx int) *SampleTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.samples[idx]
+}
+
 // SampleCount returns the number of registered samples.
 func (t *Tracer) SampleCount() int {
 	if t == nil {

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"sort"
+
+	"dynnoffload/internal/obsv"
+)
+
+// tenantAcc accumulates one tenant's serving outcomes. Latencies are kept
+// whole so the report's quantiles are exact order statistics, not histogram
+// bucket bounds — SLO attainment is the quantity under test.
+type tenantAcc struct {
+	maxQueue int
+	inQueue  int
+
+	arrivals   int64
+	shed       int64
+	quotaShed  int64
+	completed  int64
+	violations int64
+	queueSumNS int64
+	latencies  []int64 // e2e, in completion order
+}
+
+func (a *tenantAcc) complete(e2eNS, waitNS int64, violated bool) {
+	a.completed++
+	a.queueSumNS += waitNS
+	a.latencies = append(a.latencies, e2eNS)
+	if violated {
+		a.violations++
+	}
+}
+
+// exactQuantile returns the q-th order statistic of sorted (the smallest
+// value v with at least ceil(q*n) observations <= v). Zero for empty input.
+func exactQuantile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	idx := int(float64(n)*q+0.999999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}
+
+// stats reduces the accumulator to a ServeStats block.
+func (s *loop) stats(t int) (st statsOut) {
+	a := &s.acc[t]
+	st.arrivals = a.arrivals
+	st.shed = a.shed
+	st.quotaShed = a.quotaShed
+	st.completed = a.completed
+	st.violations = a.violations
+	st.queueSumNS = a.queueSumNS
+	st.latencies = a.latencies
+	return st
+}
+
+type statsOut struct {
+	arrivals, shed, quotaShed, completed, violations, queueSumNS int64
+	latencies                                                    []int64
+}
+
+// report assembles the run's per-tenant and total summaries and attaches
+// them to the live recorders.
+func (s *loop) report() *Report {
+	rep := &Report{MakespanNS: s.now, DeviceHighWater: s.ledger.HighWater()}
+	var allLat []int64
+	for t, tc := range s.cfg.Tenants {
+		o := s.stats(t)
+		sorted := append([]int64(nil), o.latencies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		st := reduce(o, sorted)
+		st.Tenant = tc.Name
+		st.SLONS = tc.SLONS
+		st.QuotaBytes = tc.QuotaBytes
+		st.QuotaPeakBytes = s.ledger.OwnerHighWater(tc.Name)
+		s.tenantRecs[t].SetServe(st)
+		rep.Tenants = append(rep.Tenants, TenantReport{Name: tc.Name, Stats: st})
+		allLat = append(allLat, o.latencies...)
+
+		rep.Total.Arrivals += st.Arrivals
+		rep.Total.Shed += st.Shed
+		rep.Total.QuotaShed += st.QuotaShed
+		rep.Total.Completed += st.Completed
+		rep.Total.SLOViolations += st.SLOViolations
+	}
+	sort.Slice(allLat, func(i, j int) bool { return allLat[i] < allLat[j] })
+	if n := int64(len(allLat)); n > 0 {
+		var sum, queueSum int64
+		for _, v := range allLat {
+			sum += v
+		}
+		for t := range s.acc {
+			queueSum += s.acc[t].queueSumNS
+		}
+		rep.Total.MeanNS = sum / n
+		rep.Total.QueueMeanNS = queueSum / n
+		rep.Total.P50NS = exactQuantile(allLat, 0.50)
+		rep.Total.P99NS = exactQuantile(allLat, 0.99)
+		rep.Total.P999NS = exactQuantile(allLat, 0.999)
+		rep.Total.MaxNS = allLat[n-1]
+	}
+	rep.Total.Batches = s.batches
+	rep.Total.QuotaPeakBytes = s.ledger.HighWater()
+	if s.batches > 0 {
+		rep.MeanBatchSize = float64(rep.Total.Completed) / float64(s.batches)
+	}
+	s.rec.SetServe(rep.Total)
+	return rep
+}
+
+// reduce folds one tenant's counters and its sorted latency set into a
+// ServeStats block.
+func reduce(o statsOut, sorted []int64) obsv.ServeStats {
+	st := obsv.ServeStats{
+		Arrivals: o.arrivals, Shed: o.shed, QuotaShed: o.quotaShed,
+		Completed: o.completed, SLOViolations: o.violations,
+	}
+	if n := int64(len(sorted)); n > 0 {
+		var sum int64
+		for _, v := range sorted {
+			sum += v
+		}
+		st.MeanNS = sum / n
+		st.QueueMeanNS = o.queueSumNS / n
+		st.P50NS = exactQuantile(sorted, 0.50)
+		st.P99NS = exactQuantile(sorted, 0.99)
+		st.P999NS = exactQuantile(sorted, 0.999)
+		st.MaxNS = sorted[n-1]
+	}
+	return st
+}

@@ -1,0 +1,460 @@
+// Package serve is the multi-tenant serving front-end over the offload
+// engine: an online request stream on the simulated clock, per-tenant
+// admission control backed by the allocator's reservation/quota layer,
+// an SLO-aware (earliest-deadline-first) scheduler with a starvation guard,
+// and continuous batching dispatched through core.RunBatch.
+//
+// Everything runs on simulated nanoseconds and seeded randomness, so the
+// serving layer inherits the runtime's determinism contract: identical
+// (seed, config) inputs replay bit-identical admission and scheduling
+// decisions — and therefore bit-identical per-tenant latency aggregates —
+// at any worker count, fault-free or faulted. The event loop itself is
+// serial (its cost is bookkeeping); the per-batch sample work fans out
+// through the engine's three-phase pipeline.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dynnoffload/internal/core"
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/mathx"
+	"dynnoffload/internal/obsv"
+	"dynnoffload/internal/pilot"
+)
+
+// Defaults applied by Run when the corresponding config field is zero.
+const (
+	// DefaultMaxBatch bounds how many requests fuse into one dispatch.
+	DefaultMaxBatch = 8
+	// DefaultMaxQueue bounds a tenant's admitted-but-unserved requests;
+	// beyond it, new arrivals are shed (backpressure).
+	DefaultMaxQueue = 64
+)
+
+// ErrNoTenants means the config offered no load to serve.
+var ErrNoTenants = errors.New("serve: no tenants configured")
+
+// TenantConfig describes one tenant's offered load and its service terms.
+type TenantConfig struct {
+	Name string
+	// Requests is how many requests the tenant offers in total.
+	Requests int
+	// RatePerSec is the tenant's mean arrival rate (open-loop Poisson
+	// process: exponential inter-arrival times on the simulated clock).
+	RatePerSec float64
+	// Seed drives the tenant's arrival process and request sampling.
+	Seed uint64
+	// QuotaBytes caps the tenant's reserved GPU memory; 0 leaves the tenant
+	// bounded only by device capacity.
+	QuotaBytes int64
+	// SLONS is the end-to-end latency objective; a completed request whose
+	// latency exceeds it counts as a violation. 0 disables the deadline (the
+	// tenant schedules behind every deadline-bearing request).
+	SLONS int64
+	// MaxQueue bounds the tenant's admitted-but-unserved queue; 0 means
+	// DefaultMaxQueue.
+	MaxQueue int
+}
+
+// Config configures one serving run.
+type Config struct {
+	Tenants []TenantConfig
+	// MaxBatch bounds the continuous-batch size; 0 means DefaultMaxBatch.
+	MaxBatch int
+	// StarvationAgeNS is the queue age past which a request preempts EDF
+	// order (served oldest-first instead), so zero-SLO or long-deadline
+	// tenants cannot starve under sustained load. 0 derives 4x the largest
+	// tenant SLO; negative disables the guard.
+	StarvationAgeNS int64
+	// Workers is the engine fan-out per dispatched batch; <= 0 means
+	// GOMAXPROCS. Results are identical at any value.
+	Workers int
+	// Tracer, when non-nil, collects per-request span traces (queue wait on
+	// the host lane, then the engine's compute/transfer spans) indexed by
+	// dispatch order.
+	Tracer *obsv.Tracer
+	// Registry, when non-nil, exposes the run's recorders (one global, one
+	// per tenant) on the live /metrics endpoint.
+	Registry *obsv.Registry
+}
+
+// Backend is what the serving layer runs requests against.
+type Backend struct {
+	Engine *core.Engine
+	// Pool is the request population; each arrival draws one example from it
+	// (with replacement) under the tenant's seed.
+	Pool []*pilot.Example
+	// GPUMemBytes sizes the reservation ledger; 0 takes the engine
+	// platform's device memory.
+	GPUMemBytes int64
+}
+
+// request is one admitted unit of work.
+type request struct {
+	tenant     int // index into Config.Tenants
+	seq        int // per-tenant arrival sequence
+	id         int64
+	arrivalNS  int64
+	deadlineNS int64 // math.MaxInt64 when the tenant has no SLO
+	ex         *pilot.Example
+	needBytes  int64
+}
+
+// TenantReport is one tenant's serving summary.
+type TenantReport struct {
+	Name  string
+	Stats obsv.ServeStats
+}
+
+// Report summarizes one serving run.
+type Report struct {
+	// Total aggregates every tenant; its latency quantiles are computed over
+	// the combined completion set.
+	Total   obsv.ServeStats
+	Tenants []TenantReport
+	// MeanBatchSize is completed requests per dispatch.
+	MeanBatchSize float64
+	// MakespanNS is the completion time of the last batch.
+	MakespanNS int64
+	// DeviceHighWater is the reservation ledger's peak across the run.
+	DeviceHighWater int64
+}
+
+// Run plays cfg's request streams against the backend and returns the
+// serving report. The loop advances a single virtual clock: admit every
+// arrival up to now (shedding on full queues and impossible quotas), form
+// one continuous batch under EDF with the starvation guard, reserve each
+// member's memory against its tenant quota, dispatch through core.RunBatch,
+// then release the reservations and advance the clock past the batch.
+func Run(b *Backend, cfg Config) (*Report, error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, ErrNoTenants
+	}
+	if b == nil || b.Engine == nil || len(b.Pool) == 0 {
+		return nil, errors.New("serve: backend needs an engine and a non-empty pool")
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	starveAge := cfg.StarvationAgeNS
+	if starveAge == 0 {
+		var maxSLO int64
+		for _, tc := range cfg.Tenants {
+			if tc.SLONS > maxSLO {
+				maxSLO = tc.SLONS
+			}
+		}
+		starveAge = 4 * maxSLO
+	}
+	if starveAge <= 0 {
+		starveAge = math.MaxInt64
+	}
+
+	gpuMem := b.GPUMemBytes
+	if gpuMem <= 0 {
+		gpuMem = b.Engine.Cfg.Platform.GPU.MemBytes
+	}
+	ledger := gpusim.NewAllocator(gpuMem)
+	for _, tc := range cfg.Tenants {
+		ledger.SetQuota(tc.Name, tc.QuotaBytes)
+	}
+
+	arrivals, err := generate(cfg, b, gpuMem)
+	if err != nil {
+		return nil, err
+	}
+
+	rec := obsv.NewRecorder("serve", cfg.Workers, nil)
+	cfg.Registry.Register(rec)
+	tenantRecs := make([]*obsv.Recorder, len(cfg.Tenants))
+	for t, tc := range cfg.Tenants {
+		tenantRecs[t] = obsv.NewRecorder("serve/"+tc.Name, cfg.Workers, nil)
+		cfg.Registry.Register(tenantRecs[t])
+	}
+
+	s := &loop{
+		cfg: cfg, backend: b, ledger: ledger, maxBatch: maxBatch,
+		starveAge: starveAge, rec: rec, tenantRecs: tenantRecs,
+		acc: make([]tenantAcc, len(cfg.Tenants)),
+	}
+	for t := range s.acc {
+		mq := cfg.Tenants[t].MaxQueue
+		if mq <= 0 {
+			mq = DefaultMaxQueue
+		}
+		s.acc[t].maxQueue = mq
+	}
+	if err := s.run(arrivals); err != nil {
+		return nil, err
+	}
+	return s.report(), nil
+}
+
+// loop is the serving event loop's state.
+type loop struct {
+	cfg        Config
+	backend    *Backend
+	ledger     *gpusim.Allocator
+	maxBatch   int
+	starveAge  int64
+	rec        *obsv.Recorder
+	tenantRecs []*obsv.Recorder
+
+	now     int64
+	queued  []*request
+	acc     []tenantAcc
+	batches int64
+	slots   int // dispatch-order trace/recorder index counter
+}
+
+// run consumes the sorted arrival stream.
+func (s *loop) run(arrivals []*request) error {
+	next := 0
+	for next < len(arrivals) || len(s.queued) > 0 {
+		if len(s.queued) == 0 {
+			// Idle: jump to the next arrival.
+			if s.now < arrivals[next].arrivalNS {
+				s.now = arrivals[next].arrivalNS
+			}
+		}
+		for next < len(arrivals) && arrivals[next].arrivalNS <= s.now {
+			s.admit(arrivals[next])
+			next++
+		}
+		if len(s.queued) == 0 {
+			continue
+		}
+		if err := s.dispatch(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// admit applies the two admission gates: a request that can never fit its
+// tenant's quota (or the device) is shed immediately; a request arriving at
+// a full tenant queue is shed as backpressure.
+func (s *loop) admit(r *request) {
+	a := &s.acc[r.tenant]
+	a.arrivals++
+	quota := s.cfg.Tenants[r.tenant].QuotaBytes
+	if (quota > 0 && r.needBytes > quota) || r.needBytes > s.ledger.Capacity {
+		a.quotaShed++
+		return
+	}
+	if a.inQueue >= a.maxQueue {
+		a.shed++
+		return
+	}
+	a.inQueue++
+	s.queued = append(s.queued, r)
+}
+
+// dispatch forms one continuous batch from the queue and runs it.
+func (s *loop) dispatch() error {
+	batch := s.selectBatch()
+	if len(batch) == 0 {
+		// Unreachable with admission capping needBytes at device capacity
+		// (the ledger is empty between batches), but fail loudly rather
+		// than spin.
+		return fmt.Errorf("serve: no request schedulable at t=%dns with %d queued", s.now, len(s.queued))
+	}
+
+	exs := make([]*pilot.Example, len(batch))
+	for i, r := range batch {
+		exs[i] = r.ex
+	}
+	base := s.slots
+	s.slots += len(batch)
+	results, err := s.backend.Engine.RunBatch(exs, core.EpochOptions{
+		Workers:   s.cfg.Workers,
+		Recorder:  s.rec,
+		Tracer:    s.cfg.Tracer,
+		TraceBase: base,
+	})
+	for _, r := range batch {
+		s.ledger.Free(r.id)
+	}
+	if err != nil {
+		return fmt.Errorf("serve: batch at t=%dns: %w", s.now, err)
+	}
+
+	serviceNS := s.serviceTime(batch, results)
+	done := s.now + serviceNS
+	s.batches++
+	s.rec.ObservePhase(PhaseService, serviceNS)
+
+	for i, r := range batch {
+		a := &s.acc[r.tenant]
+		a.inQueue--
+		waitNS := s.now - r.arrivalNS
+		e2e := done - r.arrivalNS
+		a.complete(e2e, waitNS, r.deadlineNS < done)
+		tr := s.tenantRecs[r.tenant]
+		tr.ObservePhase(PhaseQueue, waitNS)
+		tr.ObservePhase(PhaseE2E, e2e)
+		tr.ObserveSample(r.seq, results[i].Mispredicted, results[i].CacheHit, e2e)
+		if st := s.cfg.Tracer.At(base + i); st != nil {
+			st.Shift(waitNS)
+			st.Span(obsv.SpanQueue, obsv.LaneHost, -1, 0, waitNS, 0)
+		}
+	}
+	s.now = done
+	return nil
+}
+
+// Phase names observed on the serving recorders (simulated nanoseconds, not
+// host time — unlike the engine's pilot/mapping/simulate phases).
+const (
+	PhaseQueue   = "queue"
+	PhaseService = "service"
+	PhaseE2E     = "e2e"
+)
+
+// selectBatch orders the queue — starving requests first (oldest-first),
+// then earliest deadline — and greedily fills a batch from the front:
+// same model context as the anchor, memory reserved against the tenant
+// quota. Requests that don't fit stay queued for a later dispatch.
+func (s *loop) selectBatch() []*request {
+	q := s.queued
+	sort.SliceStable(q, func(i, j int) bool {
+		a, b := q[i], q[j]
+		as, bs := s.now-a.arrivalNS > s.starveAge, s.now-b.arrivalNS > s.starveAge
+		if as != bs {
+			return as
+		}
+		if as { // both starving: oldest first
+			if a.arrivalNS != b.arrivalNS {
+				return a.arrivalNS < b.arrivalNS
+			}
+		} else if a.deadlineNS != b.deadlineNS {
+			return a.deadlineNS < b.deadlineNS
+		}
+		if a.arrivalNS != b.arrivalNS {
+			return a.arrivalNS < b.arrivalNS
+		}
+		if a.tenant != b.tenant {
+			return a.tenant < b.tenant
+		}
+		return a.seq < b.seq
+	})
+
+	var batch []*request
+	rest := s.queued[:0]
+	for _, r := range q {
+		if len(batch) < s.maxBatch &&
+			(len(batch) == 0 || r.ex.Ctx == batch[0].ex.Ctx) &&
+			s.ledger.Reserve(s.cfg.Tenants[r.tenant].Name, r.id, r.needBytes) == nil {
+			batch = append(batch, r)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	s.queued = rest
+	return batch
+}
+
+// serviceTime models the continuous batch's occupancy of the device: the
+// requests' independent simulated times, compressed by what depth-wise
+// kernel fusion saves across the batch (SimulateDynamicBatch's sequential
+// minus batched launch time), floored by the slowest member — fusing can
+// never beat the longest critical path — and by 1ns.
+//
+// Only simulated time counts: Breakdown.OverheadNS is host wall time (pilot
+// inference and output mapping), so including it would leak scheduling noise
+// into the virtual clock and break the replay contract.
+func (s *loop) serviceTime(batch []*request, results []core.SampleResult) int64 {
+	var sum, slowest int64
+	infos := make([]*pilot.PathInfo, 0, len(batch))
+	for i, r := range batch {
+		t := results[i].Breakdown.TotalNS() - results[i].Breakdown.OverheadNS
+		sum += t
+		if t > slowest {
+			slowest = t
+		}
+		if info := r.ex.Ctx.PathByKey(r.ex.TruthKey); info != nil {
+			infos = append(infos, info)
+		}
+	}
+	service := sum
+	if len(infos) > 1 {
+		rep := s.backend.Engine.SimulateDynamicBatch(infos)
+		service -= rep.SequentialNS - rep.BatchedNS
+	}
+	if service < slowest {
+		service = slowest
+	}
+	if service < 1 {
+		service = 1
+	}
+	return service
+}
+
+// generate pre-computes every tenant's seeded arrival stream and merges them
+// into one globally ordered sequence. Each tenant forks two independent RNG
+// streams off its seed: one for exponential inter-arrival gaps, one for
+// drawing requests from the pool.
+func generate(cfg Config, b *Backend, gpuMem int64) ([]*request, error) {
+	need := make([]int64, len(b.Pool))
+	for i, ex := range b.Pool {
+		info := ex.Ctx.PathByKey(ex.TruthKey)
+		if info == nil {
+			return nil, fmt.Errorf("serve: pool example %d has no truth path", i)
+		}
+		need[i] = info.Analysis.PeakResidentBytes()
+		// The engine migrates, so a request never needs more than half the
+		// device resident at once to make progress.
+		if half := gpuMem / 2; need[i] > half {
+			need[i] = half
+		}
+	}
+
+	var all []*request
+	var id int64
+	for t, tc := range cfg.Tenants {
+		if tc.Requests <= 0 {
+			continue
+		}
+		if tc.RatePerSec <= 0 {
+			return nil, fmt.Errorf("serve: tenant %q needs a positive rate", tc.Name)
+		}
+		gaps := mathx.NewRNG(tc.Seed).Fork(1)
+		picks := mathx.NewRNG(tc.Seed).Fork(2)
+		var clock int64
+		for seq := 0; seq < tc.Requests; seq++ {
+			u := gaps.Float64()
+			gapNS := int64(-math.Log(1-u) / tc.RatePerSec * 1e9)
+			if gapNS < 1 {
+				gapNS = 1
+			}
+			clock += gapNS
+			pick := picks.Intn(len(b.Pool))
+			id++
+			r := &request{
+				tenant: t, seq: seq, id: id, arrivalNS: clock,
+				deadlineNS: math.MaxInt64,
+				ex:         b.Pool[pick], needBytes: need[pick],
+			}
+			if tc.SLONS > 0 {
+				r.deadlineNS = clock + tc.SLONS
+			}
+			all = append(all, r)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.arrivalNS != b.arrivalNS {
+			return a.arrivalNS < b.arrivalNS
+		}
+		if a.tenant != b.tenant {
+			return a.tenant < b.tenant
+		}
+		return a.seq < b.seq
+	})
+	return all, nil
+}

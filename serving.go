@@ -1,0 +1,57 @@
+package dynnoffload
+
+import (
+	"fmt"
+
+	"dynnoffload/internal/core"
+	"dynnoffload/internal/dynn"
+	"dynnoffload/internal/obsv"
+	"dynnoffload/internal/serve"
+)
+
+// Re-exported serving types. ServeConfig describes the tenants (offered load,
+// GPU-memory quota, latency SLO) and scheduler bounds; ServeReport carries
+// per-tenant and total latency aggregates on the simulated clock.
+type (
+	ServeConfig       = serve.Config
+	ServeTenant       = serve.TenantConfig
+	ServeReport       = serve.Report
+	ServeTenantReport = serve.TenantReport
+	ServeStats        = obsv.ServeStats
+)
+
+// Serving defaults, re-exported from the serving layer.
+const (
+	DefaultServeMaxBatch = serve.DefaultMaxBatch
+	DefaultServeMaxQueue = serve.DefaultMaxQueue
+)
+
+// Serve runs the multi-tenant serving front-end over this system's offload
+// engine: seeded per-tenant arrival streams draw requests from the sample
+// pool, admission control enforces GPU-memory quotas with backpressure and
+// load shedding, and an SLO-aware scheduler forms continuous batches that
+// dispatch through the engine. Everything advances on the simulated clock, so
+// identical (seed, config) inputs replay bit-identical scheduling decisions
+// and latency aggregates at any worker count.
+//
+// The serving engine memoizes repeated requests (Config.MemoizeSamples): a
+// re-submitted identical job reuses its recorded resolution instead of
+// repeating a mis-prediction. The system's training-epoch engine is untouched
+// — serving runs on its own engine so cache state never leaks between the
+// two worlds.
+func (s *System) Serve(pool []*dynn.Sample, cfg ServeConfig) (*ServeReport, error) {
+	if s.pilot == nil {
+		return nil, fmt.Errorf("dynnoffload: %w (call TrainPilot)", ErrPilotNotTrained)
+	}
+	exs, err := s.Examples(pool)
+	if err != nil {
+		return nil, err
+	}
+	ecfg := s.engineConfig()
+	ecfg.MemoizeSamples = true
+	eng := core.NewEngine(ecfg, s.pilot)
+	if cfg.Workers == 0 {
+		cfg.Workers = s.cfg.Workers
+	}
+	return serve.Run(&serve.Backend{Engine: eng, Pool: exs}, cfg)
+}
