@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 20s
 COVER_MIN ?= 70
 
-.PHONY: build test check race race-full fmt vet lint bench fuzz cover trace serve-smoke
+.PHONY: build test check race race-full fmt vet lint bench fuzz cover trace serve-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,19 @@ serve-smoke:
 	$(GO) run ./cmd/dynnserve -model Tree-LSTM -train 200 -test 40 -epochs 4 -ondemand \
 		-tenants "alpha:rate=2000,requests=60,slo=50ms,quota=0.5;beta:rate=2000,requests=60,slo=50ms,quota=0.5"
 	$(GO) run ./cmd/dynnbench -exp servesweep -train 200 -test 40 -epochs 4
+
+# Cluster smoke at CI scale: a 4-replica elastic serving run through the
+# public facade (cmd/dynnserve -gpus), a data-parallel Fig 10 epoch on the
+# cluster DES runtime, and the capacity sweep (max sustainable QPS vs GPU
+# count at fixed p99 SLO) with its machine-readable curves left behind for
+# inspection / CI artifact upload.
+cluster-smoke:
+	$(GO) run ./cmd/dynnserve -model Tree-CNN -batch 12 -gpus 4 -minreplicas 1 \
+		-scaleup 100us -scaledown 5ms -train 200 -test 40 -epochs 4 \
+		-tenants "alpha:rate=2000,requests=60,slo=200ms,quota=0.5;beta:rate=2000,requests=60,slo=200ms,quota=0.5"
+	$(GO) run ./cmd/dynnbench -exp fig10 -train 200 -test 40 -epochs 4
+	$(GO) run ./cmd/dynnbench -exp clustersweep -train 200 -test 40 -epochs 4 \
+		-clusterjson cluster-sweep.json
 
 # The tier-1 gate: build, vet, formatting, project lint, full tests, and the
 # race pass over the concurrent packages.

@@ -39,14 +39,22 @@ func TestPublicAPIQuickstart(t *testing.T) {
 		t.Errorf("bad epoch report: %+v", rep)
 	}
 
-	// Baselines run on the same system (deprecated string-constant form).
+	// Baselines run on the same system through the runner registry.
 	sample := corpus[499]
-	for _, system := range []BaselineSystem{PyTorch, UVM, DTR} {
-		if _, err := sys.Baseline(system, sample); err != nil {
-			t.Logf("%s: %v (infeasibility is a valid outcome)", system, err)
+	sampleExs, err := sys.Examples(corpus[499:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{PyTorch, UVM, DTR} {
+		r, err := sys.Runner(name)
+		if err != nil {
+			t.Fatalf("Runner(%q): %v", name, err)
+		}
+		if _, err := r.RunIteration(sampleExs[0]); err != nil {
+			t.Logf("%s: %v (infeasibility is a valid outcome)", name, err)
 		}
 	}
-	if _, err := sys.Baseline("nope", sample); !errors.Is(err, ErrUnknownRunner) {
+	if _, err := sys.Runner("nope"); !errors.Is(err, ErrUnknownRunner) {
 		t.Errorf("unknown system: err = %v, want ErrUnknownRunner", err)
 	}
 
@@ -113,8 +121,8 @@ func TestRunnerInterface(t *testing.T) {
 	}
 }
 
-// TestRunnerRegistration: downstream policies plug into the registry and the
-// deprecated Baseline wrapper resolves them too.
+// TestRunnerRegistration: downstream policies plug into the registry and
+// resolve through System.Runner like the built-ins.
 func TestRunnerRegistration(t *testing.T) {
 	RegisterRunner("test-noop", func(s *System) (Runner, error) {
 		return &noopRunner{}, nil
@@ -124,7 +132,15 @@ func TestRunnerRegistration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bd, err := sys.Baseline("test-noop", GenerateSamples(1, 1, 8, 16)[0])
+	r, err := sys.Runner("test-noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exs, err := sys.Examples(GenerateSamples(1, 1, 8, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := r.RunIteration(exs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +169,7 @@ func TestSentinelErrors(t *testing.T) {
 	if _, _, err := sys.PilotAccuracy(GenerateSamples(1, 2, 8, 16)); !errors.Is(err, ErrPilotNotTrained) {
 		t.Errorf("PilotAccuracy err = %v, want ErrPilotNotTrained", err)
 	}
-	if r, err := sys.Runner(string(DyNNOffload)); err != nil {
+	if r, err := sys.Runner(DyNNOffload); err != nil {
 		t.Fatal(err)
 	} else {
 		exs, err := sys.Examples(GenerateSamples(1, 1, 8, 16))
@@ -172,24 +188,18 @@ func TestSentinelErrors(t *testing.T) {
 	}
 }
 
-// TestNewSystemFromConfig: the deprecated struct constructor stays
-// equivalent to the options form.
-func TestNewSystemFromConfig(t *testing.T) {
+// TestSystemDefaults: an unset platform defaults to RTX.
+func TestSystemDefaults(t *testing.T) {
 	model := NewVarLSTM(VarLSTMConfig{Hidden: 16, Batch: 1, Seed: 1})
-	sys, err := NewSystemFromConfig(SystemConfig{Model: model, Platform: RTXPlatform()})
+	sys, err := NewSystem(model)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sys.Context() == nil {
 		t.Error("no model context")
 	}
-	// Zero platform defaults to RTX.
-	sys2, err := NewSystem(model)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sys2.cfg.Platform.GPU.MemBytes != RTXPlatform().GPU.MemBytes {
-		t.Errorf("default platform = %+v", sys2.cfg.Platform.GPU)
+	if sys.cfg.Platform.GPU.MemBytes != RTXPlatform().GPU.MemBytes {
+		t.Errorf("default platform = %+v", sys.cfg.Platform.GPU)
 	}
 }
 

@@ -28,22 +28,23 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment (comma-separated): "+strings.Join(expt.ExperimentNames(), ",")+",all")
-		list      = flag.Bool("list", false, "list registered experiments and runners, then exit")
-		train     = flag.Int("train", 0, "pilot-training samples per model (default CI scale)")
-		test      = flag.Int("test", 0, "evaluation samples per model")
-		neurons   = flag.Int("neurons", 0, "pilot hidden width")
-		epochs    = flag.Int("epochs", 0, "pilot training epochs")
-		batch     = flag.Int("batch", 0, "DyNN batch size")
-		seed      = flag.Uint64("seed", 42, "experiment seed")
-		workers   = flag.Int("workers", 0, "epoch worker pool size for DyNN-Offload epochs (0 = serial, -1 = GOMAXPROCS)")
-		stats     = flag.String("stats", "", "write per-sample JSONL observability events to this file")
-		statsJSON = flag.String("statsjson", "", "write aggregate per-model RunStats JSON for the parallel experiment to this file")
-		faultSpec = flag.String("faults", "", "deterministic fault injection, e.g. seed=7,rate=0.05[,stall=4]")
-		traceFile = flag.String("trace", "", "run one traced epoch of -model and write a Chrome Trace Event Format JSON file (Perfetto-loadable); skips -exp")
-		model     = flag.String("model", "Tree-LSTM", "zoo model for -trace")
-		traceWall = flag.Bool("tracewall", false, "annotate the -trace spans with wall-clock worker data (trace is then not bit-identical across runs)")
-		serve     = flag.String("serve", "", "serve live Prometheus metrics and net/http/pprof on this address (e.g. :8080) while experiments run, then block")
+		exp         = flag.String("exp", "all", "experiment (comma-separated): "+strings.Join(expt.ExperimentNames(), ",")+",all")
+		list        = flag.Bool("list", false, "list registered experiments and runners, then exit")
+		train       = flag.Int("train", 0, "pilot-training samples per model (default CI scale)")
+		test        = flag.Int("test", 0, "evaluation samples per model")
+		neurons     = flag.Int("neurons", 0, "pilot hidden width")
+		epochs      = flag.Int("epochs", 0, "pilot training epochs")
+		batch       = flag.Int("batch", 0, "DyNN batch size")
+		seed        = flag.Uint64("seed", 42, "experiment seed")
+		workers     = flag.Int("workers", 0, "epoch worker pool size for DyNN-Offload epochs (0 = serial, -1 = GOMAXPROCS)")
+		stats       = flag.String("stats", "", "write per-sample JSONL observability events to this file")
+		statsJSON   = flag.String("statsjson", "", "write aggregate per-model RunStats JSON for the parallel experiment to this file")
+		faultSpec   = flag.String("faults", "", "deterministic fault injection, e.g. seed=7,rate=0.05[,stall=4]")
+		clusterJSON = flag.String("clusterjson", "", "write the clustersweep capacity curves (QPS vs GPU count per model) as JSON to this file")
+		traceFile   = flag.String("trace", "", "run one traced epoch of -model and write a Chrome Trace Event Format JSON file (Perfetto-loadable); skips -exp")
+		model       = flag.String("model", "Tree-LSTM", "zoo model for -trace")
+		traceWall   = flag.Bool("tracewall", false, "annotate the -trace spans with wall-clock worker data (trace is then not bit-identical across runs)")
+		serve       = flag.String("serve", "", "serve live Prometheus metrics and net/http/pprof on this address (e.g. :8080) while experiments run, then block")
 	)
 	flag.Parse()
 
@@ -110,7 +111,7 @@ func main() {
 	if *traceFile != "" {
 		err = runTrace(*traceFile, *model, opts, *traceWall, reg)
 	} else {
-		err = run(*exp, opts, sink, *statsJSON)
+		err = run(*exp, opts, sink, *statsJSON, *clusterJSON)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynnbench:", err)
@@ -187,7 +188,7 @@ func printList(out *os.File) {
 	}
 }
 
-func run(exp string, opts expt.Options, sink obsv.Sink, statsJSON string) error {
+func run(exp string, opts expt.Options, sink obsv.Sink, statsJSON, clusterJSON string) error {
 	out := os.Stdout
 
 	var wb *expt.Workbench
@@ -234,6 +235,18 @@ func run(exp string, opts expt.Options, sink obsv.Sink, statsJSON string) error 
 				}
 				fmt.Fprintf(out, "wrote %d RunStats records to %s\n", len(stats), statsJSON)
 			}
+		} else if name == "clustersweep" && clusterJSON != "" {
+			// Special case: -clusterjson persists the machine-readable
+			// capacity curves alongside the printed table.
+			var stats []expt.ClusterSweepStat
+			stats, err = expt.ClusterSweepStats(w)
+			if err == nil {
+				if werr := writeClusterJSON(clusterJSON, stats); werr != nil {
+					return werr
+				}
+				fmt.Fprintf(out, "wrote %d capacity curves to %s\n", len(stats), clusterJSON)
+				tab = expt.ClusterSweepTable(stats)
+			}
 		} else {
 			tab, err = e.Run(w, opts)
 		}
@@ -248,6 +261,19 @@ func run(exp string, opts expt.Options, sink obsv.Sink, statsJSON string) error 
 // writeStatsJSON persists the aggregate per-model RunStats of a benchmark run
 // as indented JSON (e.g. BENCH_PR2.json).
 func writeStatsJSON(path string, stats []obsv.RunStats) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(stats)
+}
+
+// writeClusterJSON persists the cluster capacity curves as indented JSON
+// (e.g. BENCH_PR6.json).
+func writeClusterJSON(path string, stats []expt.ClusterSweepStat) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

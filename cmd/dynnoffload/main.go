@@ -77,9 +77,17 @@ func main() {
 		return
 	}
 
+	runner, err := sys.Runner(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	exs, err := sys.Examples(corpus[*train : *train+*samples])
+	if err != nil {
+		fatal(err)
+	}
 	var total dynnoffload.Breakdown
-	for _, s := range corpus[*train : *train+*samples] {
-		bd, err := sys.Baseline(dynnoffload.BaselineSystem(*policy), s)
+	for _, ex := range exs {
+		bd, err := runner.RunIteration(ex)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,14 +1,20 @@
-// Command dynnserve plays a multi-tenant serving workload against the
-// DyNN-Offload engine on the simulated clock: seeded arrival streams,
+// Command dynnserve plays a multi-tenant serving workload against a cluster
+// of simulated GPU replicas on one virtual clock: seeded arrival streams,
 // per-tenant GPU-memory quotas with load shedding, SLO-aware continuous
-// batching, and per-tenant latency aggregates. Identical flags replay
-// bit-identical results at any -workers value.
+// batching, home-affinity placement with least-loaded spill, and optional
+// elastic replica scaling. Identical flags replay bit-identical results at
+// any -workers value.
 //
 // Usage:
 //
 //	dynnserve -model Tree-LSTM
+//	dynnserve -model Tree-LSTM -gpus 4
+//	dynnserve -model Tree-LSTM -gpus 4 -minreplicas 1 -scaleup 100us -scaledown 5ms
 //	dynnserve -model MoE -tenants "prio:rate=40,requests=200,slo=2s,quota=0.5;batch:rate=10,requests=50"
 //	dynnserve -model Tree-LSTM -trace serve.json -serve :8080
+//
+// The binary goes through the public dynnoffload facade only — it is the
+// reference for driving the cluster API from downstream code.
 package main
 
 import (
@@ -20,11 +26,7 @@ import (
 	"strings"
 	"time"
 
-	"dynnoffload/internal/core"
-	"dynnoffload/internal/expt"
-	"dynnoffload/internal/faults"
-	"dynnoffload/internal/obsv"
-	"dynnoffload/internal/serve"
+	"dynnoffload"
 )
 
 func main() {
@@ -33,14 +35,19 @@ func main() {
 		tenants = flag.String("tenants",
 			"alpha:rate=2000,requests=120,slo=50ms,quota=0.5;beta:rate=2000,requests=120,slo=50ms,quota=0.5",
 			"tenant specs, ';'-separated: name:rate=R[,requests=N][,slo=DUR][,quota=FRACTION][,maxqueue=Q][,seed=S]")
+		gpus      = flag.Int("gpus", 1, "GPU replica count")
+		minRep    = flag.Int("minreplicas", 0, "elastic floor (with -scaleup; 0 = 1)")
+		scaleUp   = flag.Duration("scaleup", 0, "enable elastic scaling: windowed mean queue wait that activates one more replica")
+		scaleDown = flag.Duration("scaledown", 0, "idle time after which an active replica beyond the floor retires")
 		maxBatch  = flag.Int("maxbatch", 0, "continuous-batch size bound (0 = default)")
 		starve    = flag.Duration("starve", 0, "starvation guard age (0 = derive from SLOs, negative = off)")
-		onDemand  = flag.Bool("ondemand", false, "force the always-on-demand baseline engine")
-		train     = flag.Int("train", 0, "pilot-training samples (default CI scale)")
-		test      = flag.Int("test", 0, "request-pool samples")
-		neurons   = flag.Int("neurons", 0, "pilot hidden width")
-		epochs    = flag.Int("epochs", 0, "pilot training epochs")
-		batch     = flag.Int("batch", 0, "DyNN batch size")
+		onDemand  = flag.Bool("ondemand", false, "force the always-on-demand baseline engines")
+		pressure  = flag.Float64("pressure", 0.5, "GPU memory as a fraction of the model's footprint")
+		train     = flag.Int("train", 1500, "pilot-training samples")
+		test      = flag.Int("test", 400, "request-pool samples")
+		neurons   = flag.Int("neurons", 128, "pilot hidden width")
+		epochs    = flag.Int("epochs", 12, "pilot training epochs")
+		batch     = flag.Int("batch", 48, "DyNN batch size")
 		seed      = flag.Uint64("seed", 42, "base seed (tenant seeds derive from it)")
 		workers   = flag.Int("workers", 0, "engine fan-out per dispatched batch (0 = GOMAXPROCS)")
 		faultSpec = flag.String("faults", "", "deterministic fault injection, e.g. seed=7,rate=0.05[,stall=4]")
@@ -48,27 +55,11 @@ func main() {
 		addr      = flag.String("serve", "", "serve live Prometheus metrics and pprof on this address, then block")
 	)
 	flag.Parse()
-
-	opts := expt.DefaultOptions()
-	if *train > 0 {
-		opts.TrainSamples = *train
-	}
-	if *test > 0 {
-		opts.TestSamples = *test
-	}
-	if *neurons > 0 {
-		opts.Neurons = *neurons
-	}
-	if *epochs > 0 {
-		opts.Epochs = *epochs
-	}
-	if *batch > 0 {
-		opts.Batch = *batch
-	}
-	opts.Seed = *seed
-	if err := run(*model, *tenants, opts, settings{
-		maxBatch: *maxBatch, starveNS: int64(*starve), onDemand: *onDemand,
-		workers: *workers, faultSpec: *faultSpec, traceFile: *traceFile, addr: *addr,
+	if err := run(*model, *tenants, settings{
+		gpus: *gpus, minReplicas: *minRep, scaleUpNS: int64(*scaleUp), scaleDownNS: int64(*scaleDown),
+		maxBatch: *maxBatch, starveNS: int64(*starve), onDemand: *onDemand, pressure: *pressure,
+		train: *train, test: *test, neurons: *neurons, epochs: *epochs, batch: *batch,
+		seed: *seed, workers: *workers, faultSpec: *faultSpec, traceFile: *traceFile, addr: *addr,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dynnserve:", err)
 		os.Exit(1)
@@ -76,50 +67,91 @@ func main() {
 }
 
 type settings struct {
-	maxBatch  int
-	starveNS  int64
-	onDemand  bool
-	workers   int
-	faultSpec string
-	traceFile string
-	addr      string
+	gpus, minReplicas      int
+	scaleUpNS, scaleDownNS int64
+	maxBatch               int
+	starveNS               int64
+	onDemand               bool
+	pressure               float64
+	train, test            int
+	neurons, epochs, batch int
+	seed                   uint64
+	workers                int
+	faultSpec              string
+	traceFile              string
+	addr                   string
 }
 
-func run(model, tenantSpec string, opts expt.Options, st settings) error {
+func run(model, tenantSpec string, st settings) error {
+	m, err := dynnoffload.ZooModel(model, st.batch, st.seed)
+	if err != nil {
+		return err
+	}
+	plat := dynnoffload.RTXPlatform()
+	switch model {
+	case "var-BERT", "fixed-BERT", "AlphaFold":
+		plat = dynnoffload.A100Platform() // the paper deploys these on A100
+	}
+	sysOpts := []dynnoffload.Option{
+		dynnoffload.WithPlatform(plat),
+		dynnoffload.WithMemoryPressure(st.pressure),
+		dynnoffload.WithPilotConfig(dynnoffload.PilotConfig{
+			Neurons: st.neurons, Epochs: st.epochs, Seed: st.seed,
+		}),
+		dynnoffload.WithWorkers(st.workers),
+	}
 	if st.faultSpec != "" {
-		fc, err := faults.ParseSpec(st.faultSpec)
+		fc, err := dynnoffload.ParseFaultSpec(st.faultSpec)
 		if err != nil {
 			return err
 		}
-		opts.Faults = fc
+		sysOpts = append(sysOpts, dynnoffload.WithFaultInjection(fc))
 	}
-
-	fmt.Printf("building %s bench + pilot...\n", model)
-	wb, err := expt.NewSingleModelWorkbench(model, opts)
-	if err != nil {
-		return err
+	copts := []dynnoffload.ClusterOption{
+		dynnoffload.WithGPUs(st.gpus),
+		dynnoffload.WithSystemOptions(sysOpts...),
 	}
-	mb := wb.Models[0]
-
-	tcs, err := parseTenants(tenantSpec, mb.Platform.GPU.MemBytes, opts.Seed)
-	if err != nil {
-		return err
+	if st.onDemand {
+		copts = append(copts, dynnoffload.WithOnDemandServing())
 	}
-	cfg := serve.Config{
-		Tenants:         tcs,
-		MaxBatch:        st.maxBatch,
-		StarvationAgeNS: st.starveNS,
-		Workers:         st.workers,
-	}
+	var tracer *dynnoffload.Tracer
 	if st.traceFile != "" {
-		cfg.Tracer = obsv.NewTracer()
+		tracer = dynnoffload.NewTracer(dynnoffload.WithAbsoluteTime())
+		copts = append(copts, dynnoffload.WithClusterTracer(tracer))
 	}
-	var reg *obsv.Registry
+
+	fmt.Printf("building %s cluster (%d GPUs) + pilot...\n", model, st.gpus)
+	c, err := dynnoffload.NewCluster(m, copts...)
+	if err != nil {
+		return err
+	}
+	corpus := dynnoffload.GenerateSamples(st.seed, st.train+st.test, 8, 48)
+	if _, err := c.TrainPilot(corpus[:st.train]); err != nil {
+		return err
+	}
+
+	gpuMem := c.System().Platform().GPU.MemBytes
+	tcs, err := parseTenants(tenantSpec, gpuMem, st.seed)
+	if err != nil {
+		return err
+	}
+	cfg := dynnoffload.ClusterConfig{
+		Config: dynnoffload.ServeConfig{
+			Tenants:         tcs,
+			MaxBatch:        st.maxBatch,
+			StarvationAgeNS: st.starveNS,
+			Workers:         st.workers,
+		},
+		MinReplicas:     st.minReplicas,
+		ScaleUpQueueNS:  st.scaleUpNS,
+		ScaleDownIdleNS: st.scaleDownNS,
+	}
+	var reg *dynnoffload.MetricsRegistry
 	if st.addr != "" {
-		reg = obsv.NewRegistry()
+		reg = dynnoffload.NewMetricsRegistry()
 		cfg.Registry = reg
 		go func() {
-			if err := http.ListenAndServe(st.addr, obsv.NewServeMux(reg)); err != nil {
+			if err := http.ListenAndServe(st.addr, dynnoffload.NewMetricsMux(reg)); err != nil {
 				fmt.Fprintln(os.Stderr, "dynnserve: serve:", err)
 				os.Exit(1)
 			}
@@ -127,22 +159,14 @@ func run(model, tenantSpec string, opts expt.Options, st settings) error {
 		fmt.Printf("serving /metrics and /debug/pprof on %s\n", st.addr)
 	}
 
-	ecfg := core.DefaultConfig(mb.Platform)
-	ecfg.ForceOnDemand = st.onDemand
-	ecfg.MemoizeSamples = !st.onDemand
-	if opts.Faults.Rate > 0 {
-		ecfg.Faults = faults.New(opts.Faults)
-	}
-	eng := core.NewEngine(ecfg, wb.Pilot)
-
-	rep, err := serve.Run(&serve.Backend{Engine: eng, Pool: mb.Test}, cfg)
+	rep, err := c.Serve(corpus[st.train:], cfg)
 	if err != nil {
 		return err
 	}
 	report(os.Stdout, model, rep)
 
 	if st.traceFile != "" {
-		if err := writeTrace(st.traceFile, model, mb.Platform.Link.BW, cfg.Tracer); err != nil {
+		if err := writeTrace(st.traceFile, model, plat.Link.BW, tracer); err != nil {
 			return err
 		}
 	}
@@ -155,8 +179,8 @@ func run(model, tenantSpec string, opts expt.Options, st settings) error {
 
 // parseTenants parses the ';'-separated tenant spec list. Quotas are device
 // fractions; unset seeds derive from the base seed and the tenant's position.
-func parseTenants(spec string, gpuMem int64, baseSeed uint64) ([]serve.TenantConfig, error) {
-	var tcs []serve.TenantConfig
+func parseTenants(spec string, gpuMem int64, baseSeed uint64) ([]dynnoffload.ServeTenant, error) {
+	var tcs []dynnoffload.ServeTenant
 	for i, one := range strings.Split(spec, ";") {
 		one = strings.TrimSpace(one)
 		if one == "" {
@@ -166,7 +190,7 @@ func parseTenants(spec string, gpuMem int64, baseSeed uint64) ([]serve.TenantCon
 		if !ok || name == "" {
 			return nil, fmt.Errorf("tenant spec %q: want name:key=value,...", one)
 		}
-		tc := serve.TenantConfig{Name: name, Requests: 100, Seed: baseSeed + uint64(i+1)*7919}
+		tc := dynnoffload.ServeTenant{Name: name, Requests: 100, Seed: baseSeed + uint64(i+1)*7919}
 		for _, kv := range strings.Split(kvs, ",") {
 			k, v, ok := strings.Cut(kv, "=")
 			if !ok {
@@ -202,13 +226,57 @@ func parseTenants(spec string, gpuMem int64, baseSeed uint64) ([]serve.TenantCon
 	return tcs, nil
 }
 
-// report prints the per-tenant and total serving summaries.
-func report(out *os.File, model string, rep *serve.Report) {
-	tab := &expt.Table{
-		Title:  fmt.Sprintf("Serving %s (simulated time)", model),
-		Header: []string{"tenant", "arrivals", "done", "shed", "quota-shed", "p50-ms", "p99-ms", "p999-ms", "viol", "queue-ms", "peak-MiB"},
+// table is a minimal aligned-column printer (the bench harness has a richer
+// one; this binary stays facade-only).
+type table struct {
+	title  string
+	header []string
+	rows   [][]string
+	notes  []string
+}
+
+func (t *table) print(out *os.File) {
+	fmt.Fprintf(out, "== %s ==\n", t.title)
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
 	}
-	row := func(name string, s obsv.ServeStats) []string {
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = c + strings.Repeat(" ", widths[i]-len(c))
+		}
+		fmt.Fprintln(out, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(out, "note: %s\n", n)
+	}
+	fmt.Fprintln(out)
+}
+
+// report prints the per-tenant, total, and per-replica serving summaries.
+func report(out *os.File, model string, rep *dynnoffload.ClusterReport) {
+	tab := &table{
+		title:  fmt.Sprintf("Serving %s (simulated time)", model),
+		header: []string{"tenant", "arrivals", "done", "shed", "quota-shed", "p50-ms", "p99-ms", "p999-ms", "viol", "queue-ms", "peak-MiB"},
+	}
+	row := func(name string, s dynnoffload.ServeStats) []string {
 		return []string{
 			name,
 			strconv.FormatInt(s.Arrivals, 10),
@@ -222,29 +290,55 @@ func report(out *os.File, model string, rep *serve.Report) {
 		}
 	}
 	for _, tr := range rep.Tenants {
-		tab.Rows = append(tab.Rows, row(tr.Name, tr.Stats))
+		tab.rows = append(tab.rows, row(tr.Name, tr.Stats))
 	}
-	tab.Rows = append(tab.Rows, row("TOTAL", rep.Total))
-	tab.Notes = append(tab.Notes,
+	tab.rows = append(tab.rows, row("TOTAL", rep.Total))
+	tab.notes = append(tab.notes,
 		fmt.Sprintf("makespan %.3f ms simulated; %d batches, mean size %.2f; device high-water %.1f MiB",
 			float64(rep.MakespanNS)/1e6, rep.Total.Batches, rep.MeanBatchSize,
 			float64(rep.DeviceHighWater)/(1<<20)))
-	tab.Fprint(out)
+	tab.print(out)
+
+	rt := &table{
+		title:  "Replicas",
+		header: []string{"replica", "dispatches", "done", "busy-ms", "util", "home-tenants"},
+	}
+	for _, rs := range rep.Replicas {
+		var homed []string
+		for _, p := range rep.Placements {
+			if p.Home == rs.Replica {
+				homed = append(homed, fmt.Sprintf("%s (%d/%d home)", p.Tenant, p.HomeServed, p.Requests))
+			}
+		}
+		rt.rows = append(rt.rows, []string{
+			strconv.Itoa(rs.Replica),
+			strconv.FormatInt(rs.Dispatches, 10),
+			strconv.FormatInt(rs.Completed, 10),
+			msf(rs.BusyNS),
+			fmt.Sprintf("%.2f", rs.Util),
+			strings.Join(homed, ", "),
+		})
+	}
+	for _, ev := range rep.ScaleEvents {
+		rt.notes = append(rt.notes, fmt.Sprintf("%s to %d replicas at %.3f ms", ev.Reason, ev.Active, float64(ev.AtNS)/1e6))
+	}
+	rt.notes = append(rt.notes, fmt.Sprintf("peak active replicas: %d", rep.PeakActive))
+	rt.print(out)
 }
 
 func msf(ns int64) string { return fmt.Sprintf("%.2f", float64(ns)/1e6) }
 
-// writeTrace dumps the serving span set (queue waits on the host lane plus
-// the engine's device spans) as a Chrome Trace Event file.
-func writeTrace(path, model string, linkBW float64, tracer *obsv.Tracer) error {
+// writeTrace dumps the serving span set (queue waits plus every replica's
+// device spans on the shared cluster clock) as a Chrome Trace Event file.
+func writeTrace(path, model string, linkBW float64, tracer *dynnoffload.Tracer) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	spans := tracer.Spans()
-	meta := obsv.ChromeMeta{Label: model + " (serving)", LinkBWBytesPerSec: linkBW, Samples: tracer.SampleCount()}
-	if err := obsv.WriteChromeTrace(f, spans, meta); err != nil {
+	meta := dynnoffload.ChromeMeta{Label: model + " (serving)", LinkBWBytesPerSec: linkBW, Samples: tracer.SampleCount()}
+	if err := dynnoffload.WriteChromeTrace(f, spans, meta); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d spans (%d requests) to %s\n", len(spans), tracer.SampleCount(), path)

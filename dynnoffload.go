@@ -110,6 +110,7 @@ type (
 	PilotConfig  = pilot.Config
 	Pilot        = pilot.Pilot
 	PilotExample = pilot.Example
+	TrainResult  = pilot.TrainResult
 )
 
 var (
@@ -117,9 +118,8 @@ var (
 	DefaultPilotConfig = pilot.DefaultConfig
 )
 
-// SystemConfig configures a DyNN-Offload training system for one model on
-// one platform. Prefer the functional-options form of NewSystem; this struct
-// remains for NewSystemFromConfig.
+// SystemConfig is the resolved configuration a System runs under; NewSystem
+// assembles it from functional options.
 type SystemConfig struct {
 	Model    dynn.Model
 	Platform gpusim.Platform
@@ -136,6 +136,11 @@ type SystemConfig struct {
 	// retries and the degradation ladder; epoch aggregates stay identical
 	// to the fault-free run, only timing and traffic change.
 	Faults FaultConfig
+	// PressureFraction, when positive, caps the platform's GPU memory at
+	// this fraction of the model's largest-path footprint (floored at the
+	// double-buffer minimum), reproducing the paper's "model larger than
+	// GPU memory" regime at any model scale.
+	PressureFraction float64
 }
 
 // FaultConfig seeds the deterministic fault injector: Seed selects the fault
@@ -168,6 +173,15 @@ func WithWorkers(n int) Option { return func(c *SystemConfig) { c.Workers = n } 
 // identical RunStats fault/retry counters, at any worker count.
 func WithFaultInjection(fc FaultConfig) Option { return func(c *SystemConfig) { c.Faults = fc } }
 
+// WithMemoryPressure caps the simulated GPU at a fraction of the model's
+// largest-path memory footprint (never below what double-buffering the
+// largest single operator needs), so offload traffic appears at any model
+// scale. Composes with WithPlatform: the pressure applies to the chosen
+// platform's GPU.
+func WithMemoryPressure(fraction float64) Option {
+	return func(c *SystemConfig) { c.PressureFraction = fraction }
+}
+
 // System couples a model context, a pilot model, and the DyNN-Offload
 // runtime — the paper's Fig 2 architecture.
 type System struct {
@@ -193,21 +207,19 @@ func NewSystem(model Model, opts ...Option) (*System, error) {
 	return newSystem(cfg)
 }
 
-// NewSystemFromConfig builds the system from a fully-populated config
-// struct.
-//
-// Deprecated: use NewSystem(model, WithPlatform(...), ...). This wrapper
-// exists for callers written against the struct-based constructor.
-func NewSystemFromConfig(cfg SystemConfig) (*System, error) {
-	return newSystem(cfg)
-}
-
 func newSystem(cfg SystemConfig) (*System, error) {
 	if cfg.Model == nil {
 		return nil, ErrModelRequired
 	}
 	if cfg.Platform.GPU.MemBytes == 0 {
 		cfg.Platform = RTXPlatform()
+	}
+	if cfg.PressureFraction > 0 {
+		plat, err := pressurePlatform(cfg.Model, cfg.Platform, cfg.PressureFraction)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Platform = plat
 	}
 	cm := gpusim.NewCostModel(cfg.Platform)
 	ctx, err := pilot.NewModelContext(cfg.Model, cm, cfg.Platform.GPU.MemBytes/2, cfg.PilotConfig.MaxBlocks)
@@ -220,6 +232,40 @@ func newSystem(cfg SystemConfig) (*System, error) {
 	}
 	return s, nil
 }
+
+// pressurePlatform probes the model's paths at full memory and shrinks the
+// GPU to fraction of the largest footprint, floored at the double-buffer
+// minimum (9/4 of the largest single operator); host memory scales to hold
+// the offloaded remainder.
+func pressurePlatform(m dynn.Model, plat gpusim.Platform, fraction float64) (gpusim.Platform, error) {
+	probe, err := pilot.NewModelContext(m, gpusim.NewCostModel(plat), 0, 0)
+	if err != nil {
+		return plat, err
+	}
+	var maxPeak, maxOp int64
+	for _, info := range probe.Paths {
+		if b := info.Analysis.PeakResidentBytes(); b > maxPeak {
+			maxPeak = b
+		}
+		if b := info.Analysis.MaxSingleOpBytes(); b > maxOp {
+			maxOp = b
+		}
+	}
+	budget := int64(fraction * float64(maxPeak))
+	if floor := 9 * maxOp / 4; budget < floor {
+		budget = floor
+	}
+	if budget < 1<<20 {
+		budget = 1 << 20
+	}
+	p := plat.WithMemory(budget)
+	p.CPUMemBytes = 8 * maxPeak
+	return p, nil
+}
+
+// Platform reports the resolved hardware platform the system simulates
+// (after defaults and WithMemoryPressure).
+func (s *System) Platform() Platform { return s.cfg.Platform }
 
 // engineConfig derives the runtime config from the system config (platform
 // defaults plus the fault injector when one is enabled).
@@ -320,38 +366,17 @@ func (s *System) CacheStats() core.CacheStats {
 	return s.engine.CacheStats()
 }
 
-// BaselineSystem names a comparison system.
-//
-// Deprecated: baseline names are plain runner-registry names now; use
-// System.Runner with a string. The constants remain as aliases.
-type BaselineSystem string
-
+// Runner-registry names of the built-in memory-management policies. Resolve
+// one with System.Runner; comparison loops range over RunnerNames().
 const (
-	PyTorch     BaselineSystem = "pytorch"
-	UVM         BaselineSystem = "uvm"
-	DTR         BaselineSystem = "dtr"
-	ZeROOffload BaselineSystem = "zero-offload"
+	PyTorch     = "pytorch"
+	UVM         = "uvm"
+	DTR         = "dtr"
+	ZeROOffload = "zero-offload"
 	// DyNNOffload is the paper's system itself, registered alongside the
 	// baselines so comparison loops can range over every runner uniformly.
-	DyNNOffload BaselineSystem = "dynn-offload"
+	DyNNOffload = "dynn-offload"
 )
-
-// Baseline simulates one training iteration of the model's resolution path
-// for the given sample under a named system.
-//
-// Deprecated: resolve a Runner once with System.Runner and call RunIteration;
-// this wrapper re-encodes the sample on every call.
-func (s *System) Baseline(system BaselineSystem, sample *dynn.Sample) (gpusim.Breakdown, error) {
-	r, err := s.Runner(string(system))
-	if err != nil {
-		return gpusim.Breakdown{}, err
-	}
-	exs, err := s.Examples([]*dynn.Sample{sample})
-	if err != nil {
-		return gpusim.Breakdown{}, err
-	}
-	return r.RunIteration(exs[0])
-}
 
 // Trace produces the dynamic execution trace of a sample's full training
 // iteration (forward + backward + optimizer), as cmd/tracegen writes to

@@ -50,9 +50,17 @@ func main() {
 		if _, err := sys.TrainPilot(trainSet); err != nil {
 			log.Fatal(err)
 		}
+		exs, err := sys.Examples(testSet[:1])
+		if err != nil {
+			log.Fatal(err)
+		}
 		row := fmt.Sprintf("%-7.0f%% ", frac*100)
-		for _, system := range []dynnoffload.BaselineSystem{dynnoffload.PyTorch, dynnoffload.DTR} {
-			if bd, err := sys.Baseline(system, testSet[0]); err != nil {
+		for _, name := range []string{dynnoffload.PyTorch, dynnoffload.DTR} {
+			r, err := sys.Runner(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if bd, err := r.RunIteration(exs[0]); err != nil {
 				row += fmt.Sprintf("%-14s ", "x")
 			} else {
 				row += fmt.Sprintf("%-14s ", fmt.Sprintf("%.1fms", float64(bd.TotalNS())/1e6))

@@ -35,24 +35,34 @@ func main() {
 	plat := dynnoffload.A100Platform().WithMemory(tr.TotalBytes() * 11 / 10)
 	fmt.Printf("GPU budget: %d MiB\n\n", plat.GPU.MemBytes>>20)
 
+	iterNS := func(sys *dynnoffload.System, name string) (int64, error) {
+		r, err := sys.Runner(name)
+		if err != nil {
+			return 0, err
+		}
+		exs, err := sys.Examples([]*dynnoffload.Sample{probeSample})
+		if err != nil {
+			return 0, err
+		}
+		bd, err := r.RunIteration(exs[0])
+		return bd.TotalNS(), err
+	}
+
 	idealNS := func(batch int) int64 {
-		sys := buildSystem(batch, dynnoffload.A100Platform())
-		bd, err := sys.Baseline(dynnoffload.PyTorch, probeSample)
+		t, err := iterNS(buildSystem(batch, dynnoffload.A100Platform()), dynnoffload.PyTorch)
 		if err != nil {
 			log.Fatal(err)
 		}
-		return bd.TotalNS()
+		return t
 	}
 
-	timeFor := func(system dynnoffload.BaselineSystem, batch int) (int64, error) {
-		sys := buildSystem(batch, plat)
-		bd, err := sys.Baseline(system, probeSample)
-		return bd.TotalNS(), err
+	timeFor := func(system string, batch int) (int64, error) {
+		return iterNS(buildSystem(batch, plat), system)
 	}
 
 	fmt.Printf("%-14s %-10s %s\n", "system", "max batch", "vs pytorch")
 	var pytorchMax int
-	for _, system := range []dynnoffload.BaselineSystem{
+	for _, system := range []string{
 		dynnoffload.PyTorch, dynnoffload.UVM, dynnoffload.DTR,
 	} {
 		best := 0

@@ -53,17 +53,23 @@ func main() {
 	}
 	fmt.Printf("dynn-offload epoch: %s\n", rep.Breakdown)
 
-	// 5. Compare one iteration against the baselines.
+	// 5. Compare one iteration against the baselines via the runner registry.
 	sample := testSet[0]
-	for _, system := range []dynnoffload.BaselineSystem{
-		dynnoffload.PyTorch, dynnoffload.UVM, dynnoffload.DTR,
-	} {
-		bd, err := sys.Baseline(system, sample)
+	exs, err := sys.Examples([]*dynnoffload.Sample{sample})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{dynnoffload.PyTorch, dynnoffload.UVM, dynnoffload.DTR} {
+		r, err := sys.Runner(name)
 		if err != nil {
-			fmt.Printf("%-12s cannot train: %v\n", system, err)
+			log.Fatal(err)
+		}
+		bd, err := r.RunIteration(exs[0])
+		if err != nil {
+			fmt.Printf("%-12s cannot train: %v\n", name, err)
 			continue
 		}
-		fmt.Printf("%-12s %.3f ms/iter\n", system, float64(bd.TotalNS())/1e6)
+		fmt.Printf("%-12s %.3f ms/iter\n", name, float64(bd.TotalNS())/1e6)
 	}
 	blocks, _ := sys.Blocks(sample)
 	fmt.Printf("execution blocks for this sample: %d\n", len(blocks))

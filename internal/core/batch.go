@@ -74,6 +74,7 @@ func (e *Engine) RunBatch(exs []*pilot.Example, opts EpochOptions) ([]SampleResu
 		res.Mispredicted = decisions[i].mispredicted
 		res.CacheHit = decisions[i].cacheHit
 		st := opts.Tracer.Sample(opts.TraceBase + i)
+		st.SetBase(opts.ClockBaseNS)
 		st.SetWorker(w)
 		st.StartWall()
 		st.Instant(obsv.SpanPilot, res.PilotNS)

@@ -42,7 +42,7 @@ func TestRunBatchMatchesEpoch(t *testing.T) {
 	}
 	var got EpochReport
 	for _, r := range results {
-		got.add(r)
+		got.Add(r)
 	}
 	if got.Samples != want.Samples ||
 		got.Mispredictions != want.Mispredictions ||

@@ -149,10 +149,10 @@ type EpochReport struct {
 	FaultCounters  faults.Counters
 }
 
-// add folds one sample result into the report. All fields are commutative
+// Add folds one sample result into the report. All fields are commutative
 // sums (Breakdown.Add takes a max only for the peak), so folding in any
 // order yields the same report — what makes parallel aggregation exact.
-func (rep *EpochReport) add(r SampleResult) {
+func (rep *EpochReport) Add(r SampleResult) {
 	rep.Breakdown = rep.Breakdown.Add(r.Breakdown)
 	rep.Samples++
 	if r.Mispredicted {
@@ -355,7 +355,7 @@ func (e *Engine) RunEpoch(examples []*pilot.Example) (EpochReport, error) {
 		if err != nil {
 			return rep, err
 		}
-		rep.add(r)
+		rep.Add(r)
 	}
 	return rep, nil
 }

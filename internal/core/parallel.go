@@ -24,6 +24,12 @@ type EpochOptions struct {
 	// TraceBase+i. The serving layer uses it to give every request of a run a
 	// distinct trace slot across many RunBatch dispatches; epochs leave it 0.
 	TraceBase int
+	// ClockBaseNS places the dispatch on an external shared virtual clock:
+	// every simulated span is recorded at ClockBaseNS + its in-sample offset.
+	// The cluster runtime uses it to lay per-GPU work on one timeline; pair
+	// it with a tracer built with obsv.WithAbsoluteTime. 0 keeps the classic
+	// per-sample-relative layout.
+	ClockBaseNS int64
 }
 
 // Observability phase names recorded by ParallelRunEpoch.
@@ -119,6 +125,7 @@ func (e *Engine) ParallelRunEpoch(examples []*pilot.Example, opts EpochOptions) 
 			res.Mispredicted = decisions[i].mispredicted
 			res.CacheHit = decisions[i].cacheHit
 			st := opts.Tracer.Sample(i)
+			st.SetBase(opts.ClockBaseNS)
 			st.SetWorker(w)
 			st.StartWall()
 			st.Instant(obsv.SpanPilot, res.PilotNS)
@@ -147,7 +154,7 @@ func (e *Engine) ParallelRunEpoch(examples []*pilot.Example, opts EpochOptions) 
 		close(results)
 	}()
 	for res := range results {
-		rep.add(res)
+		rep.Add(res)
 	}
 	wg.Wait()
 	if firstErr == nil {

@@ -1,9 +1,14 @@
 package distributed
 
 import (
+	"errors"
+	"sync"
 	"testing"
 
+	"dynnoffload/internal/core"
+	"dynnoffload/internal/dynn"
 	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/pilot"
 )
 
 func TestRingAllReduce(t *testing.T) {
@@ -19,40 +24,6 @@ func TestRingAllReduce(t *testing.T) {
 	// Ring volume converges to 2x data; 4-GPU time < 2x the 2-GPU time.
 	if four >= 2*two {
 		t.Errorf("ring scaling wrong: %d vs %d", four, two)
-	}
-}
-
-func TestScaleThroughput(t *testing.T) {
-	cfg := Config{
-		Platform:    gpusim.A100Platform(),
-		NumGPUs:     8,
-		GradBytes:   1 << 28,
-		PerGPUBatch: 20,
-	}
-	res, err := Scale(cfg, 50_000_000, 100_000, 10_000, []int{1, 2, 4, 8})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(res) != 4 {
-		t.Fatalf("got %d results", len(res))
-	}
-	for i := 1; i < len(res); i++ {
-		if res[i].ThroughputPerSec <= res[i-1].ThroughputPerSec {
-			t.Errorf("throughput must grow with GPUs: %v", res)
-		}
-	}
-	if res[0].ScalingEfficiency != 1 {
-		t.Errorf("base efficiency = %v", res[0].ScalingEfficiency)
-	}
-	// Efficiency declines with scale (communication) but stays positive.
-	if res[3].ScalingEfficiency >= res[1].ScalingEfficiency {
-		t.Error("efficiency must decline beyond the node boundary")
-	}
-	// Offload overhead is scale-independent (paper's Fig 10 point).
-	for _, r := range res {
-		if r.OffloadOverheadNS != 100_000 {
-			t.Errorf("overhead changed with scale: %d", r.OffloadOverheadNS)
-		}
 	}
 }
 
@@ -73,37 +44,206 @@ func TestRingAllReduceEdges(t *testing.T) {
 	}
 }
 
-// TestScaleCrossNodeLinkFallback: GPU counts beyond the platform's per-node
-// GPU count leave the NVLink-class interconnect and fall back to the PCIe
-// link, so the all-reduce at the first cross-node point is slower than ideal
-// intra-node scaling would predict.
-func TestScaleCrossNodeLinkFallback(t *testing.T) {
-	plat := gpusim.A100Platform() // 4 GPUs per node
-	cfg := Config{Platform: plat, NumGPUs: 16, GradBytes: 1 << 28, PerGPUBatch: 20}
-	res, err := Scale(cfg, 50_000_000, 0, 0, []int{2, 4, 8})
+// bench is the shared cluster fixture: a Tree-CNN under memory pressure
+// (its path peaks clear the double-buffer floor, so large paths genuinely
+// migrate and produce host-link offload traffic), a trained pilot, and an
+// example shard. Engines are built per cluster (the mis-prediction cache is
+// per-GPU state).
+type bench struct {
+	exs  []*pilot.Example
+	p    *pilot.Pilot
+	plat gpusim.Platform
+}
+
+var (
+	benchOnce sync.Once
+	benchVal  bench
+)
+
+func testClusterBench(t *testing.T) *bench {
+	t.Helper()
+	benchOnce.Do(func() {
+		m, err := dynn.ZooModel("Tree-CNN", 12, 42)
+		if err != nil {
+			panic(err)
+		}
+		base := gpusim.RTXPlatform()
+		probe, err := pilot.NewModelContext(m, gpusim.NewCostModel(base), 0, 0)
+		if err != nil {
+			panic(err)
+		}
+		var maxPeak, maxOp int64
+		for _, info := range probe.Paths {
+			if b := info.Analysis.PeakResidentBytes(); b > maxPeak {
+				maxPeak = b
+			}
+			if b := info.Analysis.MaxSingleOpBytes(); b > maxOp {
+				maxOp = b
+			}
+		}
+		budget := maxPeak / 2
+		if floor := 9 * maxOp / 4; budget < floor {
+			budget = floor
+		}
+		plat := base.WithMemory(budget)
+		ctx, err := pilot.NewModelContext(m, gpusim.NewCostModel(plat), plat.GPU.MemBytes/2, 0)
+		if err != nil {
+			panic(err)
+		}
+		samples := dynn.GenerateSamples(33, 440, 8, 48)
+		exs, err := pilot.BuildExamples(ctx, pilot.FeatureConfig{}, samples)
+		if err != nil {
+			panic(err)
+		}
+		p := pilot.New(pilot.Config{Neurons: 64, Epochs: 10, Seed: 2})
+		p.Train(exs[:400])
+		benchVal = bench{exs: exs[400:], p: p, plat: plat}
+	})
+	return &benchVal
+}
+
+func (b *bench) cluster(t *testing.T, gpus, workers int, gradBytes int64) *Cluster {
+	t.Helper()
+	engines := make([]*core.Engine, gpus)
+	for i := range engines {
+		engines[i] = core.NewEngine(core.DefaultConfig(b.plat), b.p)
+	}
+	topo := DefaultTopology(b.plat)
+	topo.GPUsPerNode = 4
+	c, err := New(Config{GPUs: gpus, Topology: topo, GradBytes: gradBytes, Workers: workers}, engines)
 	if err != nil {
 		t.Fatal(err)
 	}
-	intra4, cross8 := res[1].AllReduceNS, res[2].AllReduceNS
-	if want := RingAllReduceNS(plat.InterGPU, cfg.GradBytes, 4); intra4 != want {
-		t.Errorf("4-GPU all-reduce = %d, want intra-node %d", intra4, want)
-	}
-	if want := RingAllReduceNS(plat.Link, cfg.GradBytes, 8); cross8 != want {
-		t.Errorf("8-GPU all-reduce = %d, want PCIe fallback %d", cross8, want)
-	}
-	// The PCIe fallback must actually cost more than staying on NVLink would.
-	if onNVLink := RingAllReduceNS(plat.InterGPU, cfg.GradBytes, 8); cross8 <= onNVLink {
-		t.Errorf("cross-node fallback %d not slower than NVLink %d", cross8, onNVLink)
+	return c
+}
+
+func TestClusterEpochThroughputScales(t *testing.T) {
+	b := testClusterBench(t)
+	var prev *EpochReport
+	for _, g := range []int{1, 2, 4} {
+		rep, err := b.cluster(t, g, 2, 1<<20).TrainEpoch(b.exs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Report.Samples != len(b.exs) {
+			t.Fatalf("gpus=%d: %d samples, want %d", g, rep.Report.Samples, len(b.exs))
+		}
+		wantSteps := (len(b.exs) + g - 1) / g
+		if rep.Steps != wantSteps {
+			t.Errorf("gpus=%d: %d steps, want %d", g, rep.Steps, wantSteps)
+		}
+		var perGPU int
+		for _, pg := range rep.PerGPU {
+			perGPU += pg.Samples
+		}
+		if perGPU != rep.Report.Samples {
+			t.Errorf("gpus=%d: per-GPU samples %d != total %d", g, perGPU, rep.Report.Samples)
+		}
+		if prev != nil {
+			if rep.ThroughputPerSec <= prev.ThroughputPerSec {
+				t.Errorf("throughput must grow with GPUs: %d gpus %.1f/s after %.1f/s",
+					g, rep.ThroughputPerSec, prev.ThroughputPerSec)
+			}
+			if rep.MakespanNS >= prev.MakespanNS {
+				t.Errorf("makespan must shrink with GPUs: %d gpus %dns after %dns",
+					g, rep.MakespanNS, prev.MakespanNS)
+			}
+		}
+		if g > 1 {
+			if rep.AllReduceNS <= 0 {
+				t.Errorf("gpus=%d: no exposed all-reduce time", g)
+			}
+			if rep.CommBytes <= 0 {
+				t.Error("no gradient traffic recorded")
+			}
+		} else if rep.AllReduceNS != 0 || rep.CommBytes != 0 {
+			t.Errorf("single GPU should not communicate: ar=%d bytes=%d", rep.AllReduceNS, rep.CommBytes)
+		}
+		if len(rep.Links) == 0 {
+			t.Fatalf("gpus=%d: no link stats", g)
+		}
+		prev = rep
 	}
 }
 
-func TestScaleErrors(t *testing.T) {
-	cfg := Config{Platform: gpusim.A100Platform(), NumGPUs: 4, GradBytes: 1, PerGPUBatch: 1}
-	if _, err := Scale(cfg, 1, 0, 0, []int{8}); err == nil {
-		t.Error("exceeding NumGPUs must error")
+// TestClusterCrossNodeLinkPressure: 8 GPUs on 4-GPU nodes push ring chunks
+// through the shared per-node PCIe links; the same 8 GPUs on one node keep
+// every hop on dedicated intra links. The cross-node epoch must expose more
+// all-reduce time, and its host links must carry ring traffic on top of the
+// offload traffic.
+func TestClusterCrossNodeLinkPressure(t *testing.T) {
+	b := testClusterBench(t)
+	grad := int64(1 << 26)
+
+	run := func(gpusPerNode int) *EpochReport {
+		engines := make([]*core.Engine, 8)
+		for i := range engines {
+			engines[i] = core.NewEngine(core.DefaultConfig(b.plat), b.p)
+		}
+		topo := DefaultTopology(b.plat)
+		topo.GPUsPerNode = gpusPerNode
+		// NVLink-class intra links (the RTX platform's inter-GPU link is
+		// itself PCIe, which would mask the fallback cost under test).
+		topo.Intra = gpusim.LinkSpec{BW: 50e9, LatencyNS: 5_000}
+		c, err := New(Config{GPUs: 8, Topology: topo, GradBytes: grad, Workers: 2}, engines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.TrainEpoch(b.exs[:32])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
 	}
-	cfg.NumGPUs = 0
-	if _, err := Scale(cfg, 1, 0, 0, []int{1}); err == nil {
-		t.Error("zero GPUs must error")
+
+	cross := run(4) // two nodes: GPUs 3 and 7 hop over PCIe
+	intra := run(8) // one node: all hops on the fast links
+	// Makespans are not directly comparable here: the single-node layout
+	// funnels all eight GPUs' offload traffic through one host link, which
+	// costs it elsewhere. The controlled comparison is ring exposure.
+	if cross.AllReduceNS <= intra.AllReduceNS {
+		t.Errorf("cross-node all-reduce %dns not slower than intra-node %dns",
+			cross.AllReduceNS, intra.AllReduceNS)
+	}
+	// The cross-node host links carry both offload bytes and ring chunks:
+	// more traffic than the intra-node host links, which carry offload only.
+	hostBytes := func(rep *EpochReport) int64 {
+		var sum int64
+		for _, l := range rep.Links {
+			if l.Name[:len("link/pcie")] == "link/pcie" {
+				sum += l.Bytes
+			}
+		}
+		return sum
+	}
+	if hostBytes(cross) <= hostBytes(intra) {
+		t.Errorf("cross-node host links carry %d bytes, intra %d — ring traffic missing",
+			hostBytes(cross), hostBytes(intra))
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	b := testClusterBench(t)
+	topo := DefaultTopology(b.plat)
+	eng := core.NewEngine(core.DefaultConfig(b.plat), b.p)
+
+	if _, err := New(Config{GPUs: 0, Topology: topo}, nil); !errors.Is(err, ErrBadCluster) {
+		t.Errorf("zero GPUs: %v", err)
+	}
+	if _, err := New(Config{GPUs: 2, Topology: topo}, []*core.Engine{eng}); !errors.Is(err, ErrBadCluster) {
+		t.Errorf("engine count mismatch: %v", err)
+	}
+	if _, err := New(Config{GPUs: 1, Topology: topo}, []*core.Engine{nil}); !errors.Is(err, ErrBadCluster) {
+		t.Errorf("nil engine: %v", err)
+	}
+	if _, err := New(Config{GPUs: 1}, []*core.Engine{eng}); !errors.Is(err, ErrBadCluster) {
+		t.Errorf("zero-bandwidth topology: %v", err)
+	}
+
+	// Empty epoch is not an error, just empty.
+	c := b.cluster(t, 2, 1, 1<<20)
+	rep, err := c.TrainEpoch(nil)
+	if err != nil || rep.Report.Samples != 0 || rep.MakespanNS != 0 {
+		t.Errorf("empty epoch: rep=%+v err=%v", rep, err)
 	}
 }

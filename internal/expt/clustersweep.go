@@ -1,0 +1,159 @@
+package expt
+
+import (
+	"fmt"
+
+	"dynnoffload/internal/core"
+	"dynnoffload/internal/pilot"
+	"dynnoffload/internal/serve"
+)
+
+// ClusterSweepGPUs is the replica grid of the cluster capacity sweep.
+var ClusterSweepGPUs = []int{1, 2, 4}
+
+// ClusterSweepStat is one migrating model's capacity curve: the maximum
+// offered rate the replica pool sustains at the model's fixed p99 SLO, per
+// GPU count. The bench harness serializes these to BENCH_PR6.json.
+type ClusterSweepStat struct {
+	Model string    `json:"model"`
+	TodNS int64     `json:"od_iter_ns"`
+	SLONS int64     `json:"slo_ns"`
+	GPUs  []int     `json:"gpus"`
+	QPS   []float64 `json:"max_qps"`
+}
+
+// ClusterSweepStats runs the cluster capacity sweep over every migrating zoo
+// model: the same two-tenant serving workload as ServeSweep, played through
+// serve.RunCluster against 1, 2, and 4 GPU replicas. The offered-load grid
+// scales with the replica count so the knee stays inside the grid at every
+// width; the per-model SLO is fixed across widths (capacity, not latency, is
+// what replicas buy).
+func ClusterSweepStats(wb *Workbench) ([]ClusterSweepStat, error) {
+	var stats []ClusterSweepStat
+	for _, mb := range wb.Models {
+		pool := mb.Test
+		if len(pool) > serveSweepRequests {
+			pool = pool[:serveSweepRequests]
+		}
+		mean, worst, xfer, err := wb.serveCalibrate(mb, pool)
+		if err != nil {
+			return nil, err
+		}
+		if xfer == 0 {
+			continue // fits GPU: replicas multiply an uncontended workload
+		}
+		st := ClusterSweepStat{Model: mb.Entry.Name, TodNS: mean, SLONS: serveSweepSLOFactor * worst}
+		for _, g := range ClusterSweepGPUs {
+			q, err := wb.clusterMaxQPS(mb, pool, g, mean, st.SLONS)
+			if err != nil {
+				return nil, err
+			}
+			st.GPUs = append(st.GPUs, g)
+			st.QPS = append(st.QPS, q)
+		}
+		stats = append(stats, st)
+	}
+	return stats, nil
+}
+
+// ClusterSweep renders the capacity sweep as a table.
+func ClusterSweep(wb *Workbench) (*Table, error) {
+	stats, err := ClusterSweepStats(wb)
+	if err != nil {
+		return nil, err
+	}
+	return ClusterSweepTable(stats), nil
+}
+
+// ClusterSweepTable renders already-computed capacity curves (dynnbench runs
+// the sweep once, writes -clusterjson, and prints this table from the same
+// stats).
+func ClusterSweepTable(stats []ClusterSweepStat) *Table {
+	tab := &Table{
+		Title:  "ClusterSweep: max sustainable QPS vs GPU count at fixed p99 SLO",
+		Header: []string{"model", "od-iter-ms", "slo-ms", "1gpu-maxQPS", "2gpu-maxQPS", "4gpu-maxQPS", "4gpu/1gpu"},
+		Notes: []string{
+			fmt.Sprintf("SLO = %dx worst-case calibrated on-demand iteration, fixed per model across replica counts", serveSweepSLOFactor),
+			"a load is sustained when every offered request completes with p99 <= SLO; the knee is bisected below grid resolution",
+			"non-migrating zoo models are skipped: replicas multiply an uncontended workload",
+		},
+	}
+	for _, st := range stats {
+		row := []string{st.Model, ms(st.TodNS), ms(st.SLONS)}
+		for _, q := range st.QPS {
+			row = append(row, qps(q))
+		}
+		scale := "-"
+		if st.QPS[0] > 0 {
+			scale = fmt.Sprintf("%.2fx", st.QPS[len(st.QPS)-1]/st.QPS[0])
+		}
+		tab.Rows = append(tab.Rows, append(row, scale))
+	}
+	return tab
+}
+
+// clusterMaxQPS finds the highest offered rate the g-replica pool sustains,
+// walking the grid (scaled by g) bottom-up and bisecting the knee — the
+// cluster analogue of serveMaxQPS.
+func (wb *Workbench) clusterMaxQPS(mb *ModelBench, pool []*pilot.Example, gpus int, todNS, sloNS int64) (float64, error) {
+	base := float64(gpus) * 1e9 / float64(todNS)
+	var lo float64
+	hi := -1.0
+	for _, u := range ServeSweepUtil {
+		rate := u * base
+		ok, err := wb.clusterSustains(mb, pool, gpus, rate, sloNS)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			hi = rate
+			break
+		}
+		lo = rate
+	}
+	if hi < 0 {
+		return lo, nil
+	}
+	for i := 0; i < serveSweepBisect; i++ {
+		mid := (lo + hi) / 2
+		ok, err := wb.clusterSustains(mb, pool, gpus, mid, sloNS)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// clusterSustains plays one sweep point through serve.RunCluster: the same
+// two-tenant split as ServeSweep, gpus fresh engines as the replica pool.
+func (wb *Workbench) clusterSustains(mb *ModelBench, pool []*pilot.Example, gpus int, rate float64, sloNS int64) (bool, error) {
+	requests := len(pool)
+	half := mb.Platform.GPU.MemBytes / 2
+	engines := make([]*core.Engine, gpus)
+	for i := range engines {
+		engines[i] = wb.serveEngine(mb, false)
+	}
+	cfg := serve.ClusterConfig{
+		Config: serve.Config{
+			Tenants: []serve.TenantConfig{
+				{Name: "a", Requests: requests / 2, RatePerSec: rate / 2,
+					Seed: wb.Opts.Seed + 101, QuotaBytes: half, SLONS: sloNS},
+				{Name: "b", Requests: requests - requests/2, RatePerSec: rate / 2,
+					Seed: wb.Opts.Seed + 202, QuotaBytes: half, SLONS: sloNS},
+			},
+			Workers: wb.Opts.Workers,
+		},
+	}
+	rep, err := serve.RunCluster(&serve.ClusterBackend{Engines: engines, Pool: pool}, cfg)
+	if err != nil {
+		return false, err
+	}
+	return rep.Total.Completed > 0 &&
+		rep.Total.Completed == rep.Total.Arrivals &&
+		rep.Total.P99NS <= sloNS, nil
+}

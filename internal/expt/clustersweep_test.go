@@ -1,0 +1,34 @@
+package expt
+
+import "testing"
+
+// TestClusterSweepScalesWithGPUs is the PR's acceptance criterion: on every
+// migrating zoo model the maximum sustainable QPS at the model's fixed p99
+// SLO increases strictly monotonically with the GPU count.
+func TestClusterSweepScalesWithGPUs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workbench construction is expensive")
+	}
+	stats, err := ClusterSweepStats(testWorkbench(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) == 0 {
+		t.Fatal("no migrating models in the sweep")
+	}
+	for _, st := range stats {
+		if len(st.GPUs) != len(ClusterSweepGPUs) || len(st.QPS) != len(ClusterSweepGPUs) {
+			t.Fatalf("%s: ragged curve %v %v", st.Model, st.GPUs, st.QPS)
+		}
+		if st.QPS[0] <= 0 {
+			t.Errorf("%s: single replica sustains no load", st.Model)
+		}
+		for i := 1; i < len(st.QPS); i++ {
+			if st.QPS[i] <= st.QPS[i-1] {
+				t.Errorf("%s: max QPS not strictly increasing at %d gpus: %v",
+					st.Model, st.GPUs[i], st.QPS)
+			}
+		}
+		t.Logf("%s: slo=%s gpus=%v qps=%v", st.Model, ms(st.SLONS), st.GPUs, st.QPS)
+	}
+}

@@ -134,7 +134,20 @@ func TestGoldenFig10(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// iter ms, samples/s, and scaling eff fold in the measured pilot
-	// overhead; offload overhead us is that measurement directly.
-	goldenCheck(t, "fig10", tab, 1, 3, 4, 5)
+	// The cluster DES runtime makes makespan, all-reduce, throughput, and
+	// scaling efficiency pure virtual time; only the measured pilot overhead
+	// column is wall clock.
+	goldenCheck(t, "fig10", tab, 6)
+}
+
+func TestGoldenClusterSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workbench construction is expensive")
+	}
+	tab, err := ClusterSweep(testWorkbench(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every column is virtual time or seeded arithmetic: nothing to mask.
+	goldenCheck(t, "clustersweep", tab)
 }

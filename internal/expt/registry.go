@@ -14,8 +14,8 @@ type Experiment struct {
 	// contexts plus the trained pilot); Run receives nil otherwise.
 	NeedsWorkbench bool
 	// InAll includes the driver in `-exp all`. Drivers kept out (parallel,
-	// servesweep) are either wired specially by the CLI or long-running
-	// sweeps meant to be invoked explicitly.
+	// servesweep, clustersweep) are either wired specially by the CLI or
+	// long-running sweeps meant to be invoked explicitly.
 	InAll bool
 	Run   func(wb *Workbench, opts Options) (*Table, error)
 }
@@ -67,6 +67,8 @@ var experiments = []Experiment{
 		Run: func(wb *Workbench, _ Options) (*Table, error) { return Overlap(wb) }},
 	{Name: "servesweep", Desc: "serving: max sustainable load at fixed p99 SLO, engine vs on-demand", NeedsWorkbench: true,
 		Run: func(wb *Workbench, _ Options) (*Table, error) { return ServeSweep(wb) }},
+	{Name: "clustersweep", Desc: "cluster serving: max sustainable QPS vs GPU count at fixed p99 SLO", NeedsWorkbench: true,
+		Run: func(wb *Workbench, _ Options) (*Table, error) { return ClusterSweep(wb) }},
 }
 
 // Experiments returns the registry in registration order.

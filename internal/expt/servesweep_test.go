@@ -67,7 +67,7 @@ func TestExperimentRegistry(t *testing.T) {
 			t.Errorf("LookupExperiment(%q) missed a registered name", n)
 		}
 	}
-	for _, must := range []string{"table1", "fig7", "faultsweep", "overlap", "servesweep", "parallel"} {
+	for _, must := range []string{"table1", "fig7", "faultsweep", "overlap", "servesweep", "clustersweep", "parallel"} {
 		if !seen[must] {
 			t.Errorf("registry missing %q", must)
 		}
@@ -77,7 +77,7 @@ func TestExperimentRegistry(t *testing.T) {
 	}
 	all := AllExperimentNames()
 	for _, n := range all {
-		if n == "parallel" || n == "servesweep" {
+		if n == "parallel" || n == "servesweep" || n == "clustersweep" {
 			t.Errorf("%q should be excluded from -exp all", n)
 		}
 	}

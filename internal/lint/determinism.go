@@ -18,6 +18,7 @@ var DeterministicPackages = []string{
 	"dynnoffload/internal/metrics",
 	"dynnoffload/internal/pilot",
 	"dynnoffload/internal/serve",
+	"dynnoffload/internal/distributed",
 }
 
 func inDeterministicScope(path string) bool {

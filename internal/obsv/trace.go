@@ -49,6 +49,13 @@ const (
 	// batch dispatched (host lane; simulated ns). Timeline reconstruction
 	// ignores it — queueing is scheduler state, not device occupancy.
 	SpanQueue SpanKind = "queue"
+	// SpanAllReduce is one scheduled ring all-reduce send on an interconnect
+	// link lane ("link/..."), recorded by the cluster runtime.
+	SpanAllReduce SpanKind = "allreduce"
+	// SpanOffload is a GPU's layer-offload (H2D+D2H) occupancy of its node's
+	// shared host link, on the same "link/..." lanes as the ring sends it
+	// contends with.
+	SpanOffload SpanKind = "offload"
 )
 
 // Lane names for Span.Lane. Compute/H2D/D2H mirror gpusim's three hardware
@@ -94,11 +101,24 @@ func (s Span) End() int64 { return s.StartNS + s.DurNS }
 type SampleTrace struct {
 	sample  int
 	wall    bool
+	base    int64
 	worker  int
 	wallSW  Stopwatch
 	wallNS  int64
 	outcome outcome
 	spans   []Span
+}
+
+// SetBase places the sample on an external shared clock: every span recorded
+// after the call lands at base + its in-sample offset. The cluster runtime
+// sets it to a GPU's virtual clock before dispatching, so per-GPU work and
+// interconnect transfers share one absolute timeline (pair with
+// WithAbsoluteTime).
+func (st *SampleTrace) SetBase(baseNS int64) {
+	if st == nil {
+		return
+	}
+	st.base = baseNS
 }
 
 // Span records one interval.
@@ -108,7 +128,7 @@ func (st *SampleTrace) Span(kind SpanKind, lane string, block int, startNS, durN
 	}
 	st.spans = append(st.spans, Span{
 		Sample: st.sample, Kind: kind, Lane: lane, Block: block,
-		StartNS: startNS, DurNS: durNS, Bytes: bytes,
+		StartNS: st.base + startNS, DurNS: durNS, Bytes: bytes,
 	})
 }
 
@@ -119,7 +139,7 @@ func (st *SampleTrace) Retry(lane string, block int, startNS, durNS, bytes int64
 	}
 	st.spans = append(st.spans, Span{
 		Sample: st.sample, Kind: SpanRetry, Lane: lane, Block: block,
-		StartNS: startNS, DurNS: durNS, Bytes: bytes, Attempt: attempt,
+		StartNS: st.base + startNS, DurNS: durNS, Bytes: bytes, Attempt: attempt,
 	})
 }
 
@@ -130,7 +150,7 @@ func (st *SampleTrace) Instant(kind SpanKind, wallNS int64) {
 	if st == nil {
 		return
 	}
-	sp := Span{Sample: st.sample, Kind: kind, Lane: LaneHost, Block: -1}
+	sp := Span{Sample: st.sample, Kind: kind, Lane: LaneHost, Block: -1, StartNS: st.base}
 	if st.wall {
 		sp.WallNS = wallNS
 		sp.Worker = st.worker
@@ -173,6 +193,20 @@ func (st *SampleTrace) makespanNS() int64 {
 		}
 	}
 	return end
+}
+
+// firstStartNS is the sample's earliest span start (0 when empty).
+func (st *SampleTrace) firstStartNS() int64 {
+	if len(st.spans) == 0 {
+		return 0
+	}
+	start := st.spans[0].StartNS
+	for _, sp := range st.spans[1:] {
+		if sp.StartNS < start {
+			start = sp.StartNS
+		}
+	}
+	return start
 }
 
 // Chrome Trace Event Format export (Perfetto-loadable). The file is the
@@ -248,6 +282,10 @@ func nsOf(us float64) int64 { return int64(math.Round(us * 1e3)) }
 
 // WriteChromeTrace serializes spans (in the order given — use Tracer.Spans
 // for the canonical epoch timeline) as Chrome Trace Event Format JSON.
+// Lanes beyond the four fixed hardware queues (e.g. the cluster runtime's
+// "link/..." interconnect lanes) get thread ids 5+ in first-appearance order,
+// each announced by its own thread_name metadata event, so ReadChromeTrace
+// round-trips them by name.
 func WriteChromeTrace(w io.Writer, spans []Span, meta ChromeMeta) error {
 	procName := "dynnoffload"
 	if meta.Label != "" {
@@ -262,6 +300,20 @@ func WriteChromeTrace(w io.Writer, spans []Span, meta ChromeMeta) error {
 			Args: &chromeArgs{Name: lane},
 		})
 	}
+	tids := make(map[string]int, len(laneTIDs))
+	for lane, tid := range laneTIDs {
+		tids[lane] = tid
+	}
+	for _, sp := range spans {
+		if _, ok := tids[sp.Lane]; !ok {
+			tid := len(tids) + 1
+			tids[sp.Lane] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: chromePID, TID: tid,
+				Args: &chromeArgs{Name: sp.Lane},
+			})
+		}
+	}
 	for _, sp := range spans {
 		args := &chromeArgs{
 			Sample: sp.Sample, Kind: sp.Kind, Bytes: sp.Bytes, Attempt: sp.Attempt,
@@ -274,7 +326,7 @@ func WriteChromeTrace(w io.Writer, spans []Span, meta ChromeMeta) error {
 		}
 		ev := chromeEvent{
 			Name: string(sp.Kind), Cat: string(sp.Kind), Ph: "X",
-			TS: usOf(sp.StartNS), PID: chromePID, TID: laneTIDs[sp.Lane], Args: args,
+			TS: usOf(sp.StartNS), PID: chromePID, TID: tids[sp.Lane], Args: args,
 		}
 		if sp.Block >= 0 {
 			ev.Name = fmt.Sprintf("%s b%d", sp.Kind, sp.Block)

@@ -16,7 +16,8 @@ import (
 // (WithWallTime) additionally tags spans with worker ids and host latencies,
 // which are scheduling-dependent and therefore non-deterministic.
 type Tracer struct {
-	wall bool
+	wall     bool
+	absolute bool
 
 	mu      sync.Mutex
 	samples map[int]*SampleTrace
@@ -30,6 +31,15 @@ type TracerOption func(*Tracer)
 // recorded in wall mode are not bit-identical across runs.
 func WithWallTime() TracerOption {
 	return func(t *Tracer) { t.wall = true }
+}
+
+// WithAbsoluteTime declares that samples are recorded on one shared virtual
+// clock (SampleTrace.SetBase / EpochOptions.ClockBaseNS): Spans returns them
+// as laid, instead of offsetting each sample by the cumulative makespan of
+// the ones before it. The cluster runtime traces in this mode — its per-GPU
+// dispatches genuinely overlap on the timeline.
+func WithAbsoluteTime() TracerOption {
+	return func(t *Tracer) { t.absolute = true }
 }
 
 // NewTracer builds an empty tracer.
@@ -131,9 +141,20 @@ func (t *Tracer) Spans() []Span {
 	var offset int64
 	for _, st := range sts {
 		makespan := st.makespanNS()
+		start := offset
+		dur := makespan
+		if t.absolute {
+			// Shared-clock layout: spans are already absolute; the envelope
+			// brackets the sample's own first..last span.
+			start = st.firstStartNS()
+			dur = makespan - start
+			if dur < 0 {
+				dur = 0
+			}
+		}
 		env := Span{
 			Sample: st.sample, Kind: SpanSample, Lane: LaneHost, Block: -1,
-			StartNS: offset, DurNS: makespan,
+			StartNS: start, DurNS: dur,
 			Mispredicted: st.outcome.mispredicted, CacheHit: st.outcome.cacheHit,
 		}
 		if st.wall {
@@ -142,7 +163,9 @@ func (t *Tracer) Spans() []Span {
 		}
 		out = append(out, env)
 		for _, sp := range st.spans {
-			sp.StartNS += offset
+			if !t.absolute {
+				sp.StartNS += offset
+			}
 			out = append(out, sp)
 		}
 		offset += makespan

@@ -48,41 +48,33 @@ func exactQuantile(sorted []int64, q float64) int64 {
 	return sorted[idx]
 }
 
-// stats reduces the accumulator to a ServeStats block.
-func (s *loop) stats(t int) (st statsOut) {
-	a := &s.acc[t]
-	st.arrivals = a.arrivals
-	st.shed = a.shed
-	st.quotaShed = a.quotaShed
-	st.completed = a.completed
-	st.violations = a.violations
-	st.queueSumNS = a.queueSumNS
-	st.latencies = a.latencies
-	return st
-}
-
-type statsOut struct {
-	arrivals, shed, quotaShed, completed, violations, queueSumNS int64
-	latencies                                                    []int64
-}
-
-// report assembles the run's per-tenant and total summaries and attaches
-// them to the live recorders.
+// report assembles the run's summaries from the single-device loop's state.
 func (s *loop) report() *Report {
-	rep := &Report{MakespanNS: s.now, DeviceHighWater: s.ledger.HighWater()}
+	return buildReport(s.cfg.Tenants, s.acc, s.tenantRecs, s.rec,
+		s.batches, s.now, s.ledger.HighWater(), s.ledger.OwnerHighWater)
+}
+
+// buildReport folds the per-tenant accumulators into the serving report and
+// attaches the stats to the live recorders. ownerPeak reports one tenant's
+// reservation high-water; the cluster scheduler passes a max across its
+// replica ledgers, the single-device loop its one ledger's method.
+func buildReport(tenants []TenantConfig, acc []tenantAcc, tenantRecs []*obsv.Recorder, rec *obsv.Recorder, batches, makespanNS, highWater int64, ownerPeak func(string) int64) *Report {
+	rep := &Report{MakespanNS: makespanNS, DeviceHighWater: highWater}
 	var allLat []int64
-	for t, tc := range s.cfg.Tenants {
-		o := s.stats(t)
-		sorted := append([]int64(nil), o.latencies...)
+	var queueSum int64
+	for t, tc := range tenants {
+		a := &acc[t]
+		sorted := append([]int64(nil), a.latencies...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		st := reduce(o, sorted)
+		st := reduce(a, sorted)
 		st.Tenant = tc.Name
 		st.SLONS = tc.SLONS
 		st.QuotaBytes = tc.QuotaBytes
-		st.QuotaPeakBytes = s.ledger.OwnerHighWater(tc.Name)
-		s.tenantRecs[t].SetServe(st)
+		st.QuotaPeakBytes = ownerPeak(tc.Name)
+		tenantRecs[t].SetServe(st)
 		rep.Tenants = append(rep.Tenants, TenantReport{Name: tc.Name, Stats: st})
-		allLat = append(allLat, o.latencies...)
+		allLat = append(allLat, a.latencies...)
+		queueSum += a.queueSumNS
 
 		rep.Total.Arrivals += st.Arrivals
 		rep.Total.Shed += st.Shed
@@ -92,12 +84,9 @@ func (s *loop) report() *Report {
 	}
 	sort.Slice(allLat, func(i, j int) bool { return allLat[i] < allLat[j] })
 	if n := int64(len(allLat)); n > 0 {
-		var sum, queueSum int64
+		var sum int64
 		for _, v := range allLat {
 			sum += v
-		}
-		for t := range s.acc {
-			queueSum += s.acc[t].queueSumNS
 		}
 		rep.Total.MeanNS = sum / n
 		rep.Total.QueueMeanNS = queueSum / n
@@ -106,21 +95,21 @@ func (s *loop) report() *Report {
 		rep.Total.P999NS = exactQuantile(allLat, 0.999)
 		rep.Total.MaxNS = allLat[n-1]
 	}
-	rep.Total.Batches = s.batches
-	rep.Total.QuotaPeakBytes = s.ledger.HighWater()
-	if s.batches > 0 {
-		rep.MeanBatchSize = float64(rep.Total.Completed) / float64(s.batches)
+	rep.Total.Batches = batches
+	rep.Total.QuotaPeakBytes = highWater
+	if batches > 0 {
+		rep.MeanBatchSize = float64(rep.Total.Completed) / float64(batches)
 	}
-	s.rec.SetServe(rep.Total)
+	rec.SetServe(rep.Total)
 	return rep
 }
 
 // reduce folds one tenant's counters and its sorted latency set into a
 // ServeStats block.
-func reduce(o statsOut, sorted []int64) obsv.ServeStats {
+func reduce(a *tenantAcc, sorted []int64) obsv.ServeStats {
 	st := obsv.ServeStats{
-		Arrivals: o.arrivals, Shed: o.shed, QuotaShed: o.quotaShed,
-		Completed: o.completed, SLOViolations: o.violations,
+		Arrivals: a.arrivals, Shed: a.shed, QuotaShed: a.quotaShed,
+		Completed: a.completed, SLOViolations: a.violations,
 	}
 	if n := int64(len(sorted)); n > 0 {
 		var sum int64
@@ -128,7 +117,7 @@ func reduce(o statsOut, sorted []int64) obsv.ServeStats {
 			sum += v
 		}
 		st.MeanNS = sum / n
-		st.QueueMeanNS = o.queueSumNS / n
+		st.QueueMeanNS = a.queueSumNS / n
 		st.P50NS = exactQuantile(sorted, 0.50)
 		st.P99NS = exactQuantile(sorted, 0.99)
 		st.P999NS = exactQuantile(sorted, 0.999)

@@ -164,7 +164,7 @@ func Run(b *Backend, cfg Config) (*Report, error) {
 		ledger.SetQuota(tc.Name, tc.QuotaBytes)
 	}
 
-	arrivals, err := generate(cfg, b, gpuMem)
+	arrivals, err := generate(cfg, b.Pool, gpuMem)
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +257,8 @@ func (s *loop) admit(r *request) {
 
 // dispatch forms one continuous batch from the queue and runs it.
 func (s *loop) dispatch() error {
-	batch := s.selectBatch()
+	var batch []*request
+	batch, s.queued = selectBatch(s.queued, s.now, s.starveAge, s.maxBatch, s.ledger, s.cfg.Tenants)
 	if len(batch) == 0 {
 		// Unreachable with admission capping needBytes at device capacity
 		// (the ledger is empty between batches), but fail loudly rather
@@ -284,7 +285,7 @@ func (s *loop) dispatch() error {
 		return fmt.Errorf("serve: batch at t=%dns: %w", s.now, err)
 	}
 
-	serviceNS := s.serviceTime(batch, results)
+	serviceNS := serviceTime(s.backend.Engine, batch, results)
 	done := s.now + serviceNS
 	s.batches++
 	s.rec.ObservePhase(PhaseService, serviceNS)
@@ -319,12 +320,14 @@ const (
 // selectBatch orders the queue — starving requests first (oldest-first),
 // then earliest deadline — and greedily fills a batch from the front:
 // same model context as the anchor, memory reserved against the tenant
-// quota. Requests that don't fit stay queued for a later dispatch.
-func (s *loop) selectBatch() []*request {
-	q := s.queued
+// quota on the given ledger. It returns the batch and the requests left
+// queued for a later dispatch. Shared by the single-device loop and the
+// cluster scheduler (which calls it with the chosen replica's ledger).
+func selectBatch(queued []*request, now, starveAge int64, maxBatch int, ledger *gpusim.Allocator, tenants []TenantConfig) (batch, rest []*request) {
+	q := queued
 	sort.SliceStable(q, func(i, j int) bool {
 		a, b := q[i], q[j]
-		as, bs := s.now-a.arrivalNS > s.starveAge, s.now-b.arrivalNS > s.starveAge
+		as, bs := now-a.arrivalNS > starveAge, now-b.arrivalNS > starveAge
 		if as != bs {
 			return as
 		}
@@ -344,19 +347,17 @@ func (s *loop) selectBatch() []*request {
 		return a.seq < b.seq
 	})
 
-	var batch []*request
-	rest := s.queued[:0]
+	rest = queued[:0]
 	for _, r := range q {
-		if len(batch) < s.maxBatch &&
+		if len(batch) < maxBatch &&
 			(len(batch) == 0 || r.ex.Ctx == batch[0].ex.Ctx) &&
-			s.ledger.Reserve(s.cfg.Tenants[r.tenant].Name, r.id, r.needBytes) == nil {
+			ledger.Reserve(tenants[r.tenant].Name, r.id, r.needBytes) == nil {
 			batch = append(batch, r)
 		} else {
 			rest = append(rest, r)
 		}
 	}
-	s.queued = rest
-	return batch
+	return batch, rest
 }
 
 // serviceTime models the continuous batch's occupancy of the device: the
@@ -368,7 +369,7 @@ func (s *loop) selectBatch() []*request {
 // Only simulated time counts: Breakdown.OverheadNS is host wall time (pilot
 // inference and output mapping), so including it would leak scheduling noise
 // into the virtual clock and break the replay contract.
-func (s *loop) serviceTime(batch []*request, results []core.SampleResult) int64 {
+func serviceTime(eng *core.Engine, batch []*request, results []core.SampleResult) int64 {
 	var sum, slowest int64
 	infos := make([]*pilot.PathInfo, 0, len(batch))
 	for i, r := range batch {
@@ -383,7 +384,7 @@ func (s *loop) serviceTime(batch []*request, results []core.SampleResult) int64 
 	}
 	service := sum
 	if len(infos) > 1 {
-		rep := s.backend.Engine.SimulateDynamicBatch(infos)
+		rep := eng.SimulateDynamicBatch(infos)
 		service -= rep.SequentialNS - rep.BatchedNS
 	}
 	if service < slowest {
@@ -399,9 +400,9 @@ func (s *loop) serviceTime(batch []*request, results []core.SampleResult) int64 
 // into one globally ordered sequence. Each tenant forks two independent RNG
 // streams off its seed: one for exponential inter-arrival gaps, one for
 // drawing requests from the pool.
-func generate(cfg Config, b *Backend, gpuMem int64) ([]*request, error) {
-	need := make([]int64, len(b.Pool))
-	for i, ex := range b.Pool {
+func generate(cfg Config, pool []*pilot.Example, gpuMem int64) ([]*request, error) {
+	need := make([]int64, len(pool))
+	for i, ex := range pool {
 		info := ex.Ctx.PathByKey(ex.TruthKey)
 		if info == nil {
 			return nil, fmt.Errorf("serve: pool example %d has no truth path", i)
@@ -433,12 +434,12 @@ func generate(cfg Config, b *Backend, gpuMem int64) ([]*request, error) {
 				gapNS = 1
 			}
 			clock += gapNS
-			pick := picks.Intn(len(b.Pool))
+			pick := picks.Intn(len(pool))
 			id++
 			r := &request{
 				tenant: t, seq: seq, id: id, arrivalNS: clock,
 				deadlineNS: math.MaxInt64,
-				ex:         b.Pool[pick], needBytes: need[pick],
+				ex:         pool[pick], needBytes: need[pick],
 			}
 			if tc.SLONS > 0 {
 				r.deadlineNS = clock + tc.SLONS

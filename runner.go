@@ -81,27 +81,27 @@ func (s *System) Runner(name string) (Runner, error) {
 }
 
 func init() {
-	RegisterRunner(string(DyNNOffload), func(s *System) (Runner, error) {
+	RegisterRunner(DyNNOffload, func(s *System) (Runner, error) {
 		return &offloadRunner{s: s}, nil
 	})
-	RegisterRunner(string(PyTorch), func(s *System) (Runner, error) {
-		return &pathRunner{name: string(PyTorch), run: func(info *pilot.PathInfo) (Breakdown, error) {
+	RegisterRunner(PyTorch, func(s *System) (Runner, error) {
+		return &pathRunner{name: PyTorch, run: func(info *pilot.PathInfo) (Breakdown, error) {
 			return baselines.PyTorch(info.Analysis, s.cfg.Platform)
 		}}, nil
 	})
-	RegisterRunner(string(UVM), func(s *System) (Runner, error) {
-		return &pathRunner{name: string(UVM), run: func(info *pilot.PathInfo) (Breakdown, error) {
+	RegisterRunner(UVM, func(s *System) (Runner, error) {
+		return &pathRunner{name: UVM, run: func(info *pilot.PathInfo) (Breakdown, error) {
 			return baselines.UVM(info.Analysis, s.cfg.Platform, baselines.DefaultUVMConfig())
 		}}, nil
 	})
-	RegisterRunner(string(DTR), func(s *System) (Runner, error) {
-		return &pathRunner{name: string(DTR), run: func(info *pilot.PathInfo) (Breakdown, error) {
+	RegisterRunner(DTR, func(s *System) (Runner, error) {
+		return &pathRunner{name: DTR, run: func(info *pilot.PathInfo) (Breakdown, error) {
 			return baselines.DTR(info.Analysis, s.cfg.Platform, baselines.DefaultDTRConfig())
 		}}, nil
 	})
-	RegisterRunner(string(ZeROOffload), func(s *System) (Runner, error) {
+	RegisterRunner(ZeROOffload, func(s *System) (Runner, error) {
 		eng := core.NewEngine(core.DefaultConfig(s.cfg.Platform), nil)
-		return &pathRunner{name: string(ZeROOffload), run: func(info *pilot.PathInfo) (Breakdown, error) {
+		return &pathRunner{name: ZeROOffload, run: func(info *pilot.PathInfo) (Breakdown, error) {
 			return baselines.ZeRO(info.Analysis, s.cfg.Platform, s.cfg.Model.Dynamic(),
 				baselines.DefaultZeROConfig(), eng.SimulatePartition)
 		}}, nil
@@ -129,7 +129,7 @@ func (r *pathRunner) RunIteration(ex *PilotExample) (Breakdown, error) {
 // offloadRunner is the DyNN-Offload engine behind the Runner interface.
 type offloadRunner struct{ s *System }
 
-func (r *offloadRunner) Name() string { return string(DyNNOffload) }
+func (r *offloadRunner) Name() string { return DyNNOffload }
 
 func (r *offloadRunner) RunIteration(ex *PilotExample) (Breakdown, error) {
 	if r.s.engine == nil {

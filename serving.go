@@ -24,6 +24,16 @@ type (
 const (
 	DefaultServeMaxBatch = serve.DefaultMaxBatch
 	DefaultServeMaxQueue = serve.DefaultMaxQueue
+	DefaultScaleWindow   = serve.DefaultScaleWindow
+)
+
+// MetricsRegistry collects live recorders for Prometheus exposition; wire it
+// into ServeConfig.Registry and mount NewMetricsMux on an HTTP server.
+type MetricsRegistry = obsv.Registry
+
+var (
+	NewMetricsRegistry = obsv.NewRegistry
+	NewMetricsMux      = obsv.NewServeMux
 )
 
 // Serve runs the multi-tenant serving front-end over this system's offload
