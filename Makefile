@@ -24,11 +24,13 @@ fmt:
 lint:
 	$(GO) run ./cmd/dynnlint ./...
 
-# Race-check the concurrent runtime (sharded cache, parallel epochs, pilot)
-# and the packages the fault injector threads through (simulator, counters).
+# Race-check the concurrent runtime (sharded cache, parallel epochs, pilot),
+# the packages the fault injector threads through (simulator, counters), and
+# the serving/cluster layers (admission, dispatch, the DES runtime).
 race:
 	$(GO) test -race ./internal/core/... ./internal/obsv/... ./internal/pilot/... \
-		./internal/gpusim/... ./internal/faults/...
+		./internal/gpusim/... ./internal/faults/... \
+		./internal/serve/... ./internal/distributed/...
 
 # Race-check everything (slow).
 race-full:

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"dynnoffload/internal/expt"
+	"dynnoffload/internal/graph"
 )
 
 // benchOpts are deliberately small: the benchmarks exist to regenerate every
@@ -255,6 +256,22 @@ func BenchmarkSentinelPartition(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		info.Analysis.Partition(budget)
+	}
+}
+
+func BenchmarkGraphResolve(b *testing.B) {
+	w := workbench(b)
+	mb := w.Bench("var-BERT")
+	static := mb.Model.Static()
+	decisions := make([][]int, 0, len(mb.Test))
+	for _, ex := range mb.Test {
+		decisions = append(decisions, mb.Model.Decide(ex.Sample))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.Resolve(static, decisions[i%len(decisions)]); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -42,6 +42,8 @@ func main() {
 		faultSpec   = flag.String("faults", "", "deterministic fault injection, e.g. seed=7,rate=0.05[,stall=4]")
 		clusterJSON = flag.String("clusterjson", "", "write the clustersweep capacity curves (QPS vs GPU count per model) as JSON to this file")
 		traceFile   = flag.String("trace", "", "run one traced epoch of -model and write a Chrome Trace Event Format JSON file (Perfetto-loadable); skips -exp")
+		benchJSON   = flag.String("benchjson", "", "time the graph-resolution and DES-iteration hot paths of -model and write the results as JSON to this file (e.g. BENCH_PR7.json); skips -exp")
+		benchIters  = flag.Int("benchiters", 200, "iterations per -benchjson hot-path loop")
 		model       = flag.String("model", "Tree-LSTM", "zoo model for -trace")
 		traceWall   = flag.Bool("tracewall", false, "annotate the -trace spans with wall-clock worker data (trace is then not bit-identical across runs)")
 		serve       = flag.String("serve", "", "serve live Prometheus metrics and net/http/pprof on this address (e.g. :8080) while experiments run, then block")
@@ -110,6 +112,8 @@ func main() {
 	var err error
 	if *traceFile != "" {
 		err = runTrace(*traceFile, *model, opts, *traceWall, reg)
+	} else if *benchJSON != "" {
+		err = runMicroBench(*benchJSON, *model, *benchIters, opts)
 	} else {
 		err = run(*exp, opts, sink, *statsJSON, *clusterJSON)
 	}
@@ -168,6 +172,35 @@ func runTrace(path, model string, opts expt.Options, wall bool, reg *obsv.Regist
 	fmt.Printf("overlap efficiency %.1f%% (hidden %.3f ms / transfer %.3f ms), pcie util %.1f%%\n",
 		o.Efficiency*100, float64(o.HiddenNS)/1e6, float64(o.TransferNS)/1e6, o.PCIeUtil*100)
 	fmt.Println("inspect: dynntrace", path, " — or load into https://ui.perfetto.dev")
+	return nil
+}
+
+// runMicroBench times the graph-resolution and DES-iteration hot paths of the
+// named zoo model and writes the results as indented JSON (e.g. BENCH_PR7.json).
+func runMicroBench(path, model string, iters int, opts expt.Options) error {
+	fmt.Printf("building %s bench + pilot...\n", model)
+	wb, err := expt.NewSingleModelWorkbench(model, opts)
+	if err != nil {
+		return err
+	}
+	results, err := expt.MicroBench(wb, model, iters)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-14s %8d iters  %12.0f ns/op\n", r.Name, r.Iters, r.NsPerOp)
+	}
+	fmt.Printf("wrote %d benchmark records to %s\n", len(results), path)
 	return nil
 }
 

@@ -1,13 +1,22 @@
 // Command dynnlint runs the project's static-analysis suite (internal/lint)
-// over module packages: determinism, lockcheck, floatcmp, errdiscipline, and
-// panicfree. It is pure stdlib — no analysis frameworks, no network.
+// over module packages: the five AST passes (determinism, lockcheck,
+// floatcmp, errdiscipline, panicfree) plus the four CFG/dataflow passes
+// (allocleak, clockunits, spanbalance, facade). It is pure stdlib — no
+// analysis frameworks, no network.
+//
+// The driver is incremental and parallel: per-package results cache under
+// <module>/.dynnlint keyed by the content hash of the package, its transitive
+// module dependencies, and the analyzer set, so a warm rerun type-checks
+// nothing. Packages type-check and analyze on a bounded worker pool.
 //
 // Usage:
 //
-//	dynnlint ./...                  # whole module
+//	dynnlint ./...                  # whole module (warm cache)
 //	dynnlint ./internal/core        # one package
 //	dynnlint -json ./...            # machine-readable findings
-//	dynnlint -analyzers determinism,floatcmp ./...
+//	dynnlint -sarif lint.sarif ./...  # SARIF 2.1.0 for code scanning
+//	dynnlint -nocache -jobs 1 ./... # cold, serial
+//	dynnlint -analyzers allocleak,spanbalance ./...
 //	dynnlint -list                  # describe the analyzers
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure. Findings are
@@ -29,8 +38,13 @@ import (
 func main() {
 	var (
 		jsonOut   = flag.Bool("json", false, "emit findings as a JSON array")
+		sarifOut  = flag.String("sarif", "", "write findings as SARIF 2.1.0 to this file (\"-\" for stdout)")
 		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		list      = flag.Bool("list", false, "list analyzers and exit")
+		nocache   = flag.Bool("nocache", false, "disable the incremental result cache")
+		cacheDir  = flag.String("cachedir", "", "cache directory (default <module>/.dynnlint)")
+		jobs      = flag.Int("jobs", 0, "max parallel type-check/analysis workers (default GOMAXPROCS)")
+		stats     = flag.Bool("stats", false, "print cache/load statistics to stderr")
 	)
 	flag.Parse()
 
@@ -61,12 +75,40 @@ func main() {
 		os.Exit(2)
 	}
 
-	pkgs, err := lint.LoadModule(root, patterns)
+	opts := lint.Options{Analyzers: selected, Jobs: *jobs}
+	if !*nocache {
+		opts.CacheDir = *cacheDir
+		if opts.CacheDir == "" {
+			opts.CacheDir = filepath.Join(root, ".dynnlint")
+		}
+	}
+	res, err := lint.Analyze(root, patterns, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynnlint:", err)
 		os.Exit(2)
 	}
-	findings := lint.Run(pkgs, selected)
+	findings := res.Findings
+	if *stats {
+		fmt.Fprintf(os.Stderr, "dynnlint: %d package(s): %d cached, %d analyzed, %d loaded\n",
+			res.Stats.Packages, res.Stats.CacheHits, res.Stats.CacheMisses, res.Stats.LoadedPackages)
+	}
+
+	if *sarifOut != "" {
+		out := os.Stdout
+		if *sarifOut != "-" {
+			f, err := os.Create(*sarifOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dynnlint:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := lint.WriteSARIF(out, root, selected, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "dynnlint:", err)
+			os.Exit(2)
+		}
+	}
 
 	// Findings print with paths relative to the working directory.
 	cwd, _ := os.Getwd()
@@ -76,7 +118,8 @@ func main() {
 		}
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -86,13 +129,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dynnlint:", err)
 			os.Exit(2)
 		}
-	} else {
+	case *sarifOut == "-":
+		// SARIF already went to stdout; keep it valid JSON.
+	default:
 		for _, f := range findings {
 			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 		}
 	}
 	if len(findings) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && *sarifOut != "-" {
 			fmt.Fprintf(os.Stderr, "dynnlint: %d finding(s)\n", len(findings))
 		}
 		os.Exit(1)

@@ -8,39 +8,18 @@ import (
 	"strconv"
 	"strings"
 	"testing"
-)
 
-// toolingImports whitelists the internal packages each harness/tooling binary
-// may reach past the facade. Binaries absent from this map are user-facing
-// CLIs and must import only the public dynnoffload package — the cluster and
-// serving redesign re-exports everything they need, and this test keeps it
-// that way.
-var toolingImports = map[string][]string{
-	// The bench harness IS the experiment layer; it drives internal/expt
-	// directly and shares its recorder plumbing.
-	"dynnbench": {
-		"dynnoffload/internal/core",
-		"dynnoffload/internal/expt",
-		"dynnoffload/internal/faults",
-		"dynnoffload/internal/obsv",
-	},
-	// The repo linter walks internal packages by construction.
-	"dynnlint": {"dynnoffload/internal/lint"},
-	// The trace viewer decodes internal/obsv's span schema.
-	"dynntrace": {"dynnoffload/internal/obsv"},
-	// The pilot training tool pokes at pilot internals on purpose.
-	"pilottrain": {
-		"dynnoffload/internal/dynn",
-		"dynnoffload/internal/gpusim",
-		"dynnoffload/internal/nn",
-		"dynnoffload/internal/pilot",
-	},
-}
+	"dynnoffload/internal/lint"
+)
 
 // TestCommandsStayBehindFacade parses every command's imports and fails if a
 // user-facing binary (dynnserve, dynnoffload, tracegen, ...) reaches into
 // dynnoffload/internal/..., or a tooling binary grows an unlisted internal
-// dependency.
+// dependency. The whitelist is lint.ToolingImports — the same table the
+// facade analyzer enforces — so the test and the analyzer can never drift.
+// The test remains alongside the analyzer because it also covers ground the
+// analyzer cannot: build-tagged files the loader skips and staleness of the
+// whitelist itself.
 func TestCommandsStayBehindFacade(t *testing.T) {
 	entries, err := os.ReadDir("cmd")
 	if err != nil {
@@ -55,7 +34,7 @@ func TestCommandsStayBehindFacade(t *testing.T) {
 			continue
 		}
 		allowed := map[string]bool{}
-		for _, p := range toolingImports[e.Name()] {
+		for _, p := range lint.ToolingImports[e.Name()] {
 			allowed[p] = true
 		}
 		files, err := filepath.Glob(filepath.Join("cmd", e.Name(), "*.go"))
@@ -79,16 +58,16 @@ func TestCommandsStayBehindFacade(t *testing.T) {
 					continue
 				}
 				if !allowed[path] {
-					t.Errorf("%s imports %s past the public facade; use a dynnoffload re-export or extend toolingImports with a rationale",
+					t.Errorf("%s imports %s past the public facade; use a dynnoffload re-export or extend lint.ToolingImports with a rationale",
 						file, path)
 				}
 			}
 		}
 	}
 	// The whitelist must not carry stale binaries.
-	for name := range toolingImports {
+	for name := range lint.ToolingImports {
 		if _, err := os.Stat(filepath.Join("cmd", name)); err != nil {
-			t.Errorf("toolingImports lists %q but cmd/%s does not exist", name, name)
+			t.Errorf("lint.ToolingImports lists %q but cmd/%s does not exist", name, name)
 		}
 	}
 }

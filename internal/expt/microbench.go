@@ -1,0 +1,69 @@
+package expt
+
+import (
+	"fmt"
+
+	"dynnoffload/internal/graph"
+	"dynnoffload/internal/obsv"
+)
+
+// MicroBenchResult is one timed hot-path loop: iterations and mean wall time
+// per operation. These are the runtime's two inner loops — what every epoch,
+// sweep, and serving batch ultimately spends its time in.
+type MicroBenchResult struct {
+	Name    string  `json:"name"`
+	Model   string  `json:"model"`
+	Iters   int     `json:"iters"`
+	TotalNS int64   `json:"total_ns"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// MicroBench times the two hot paths for one zoo model:
+//
+//   - graph_resolve: graph.Resolve over the model's test-split decision
+//     vectors (the per-sample dynamic-architecture instantiation cost), and
+//   - des_iteration: Engine.SimulatePartition (the double-buffered
+//     simulatePipelined DES loop) over the model's first path.
+//
+// iters bounds each loop; the per-op mean divides measured wall time by the
+// iterations actually run.
+func MicroBench(w *Workbench, model string, iters int) ([]MicroBenchResult, error) {
+	mb := w.Bench(model)
+	if mb == nil {
+		return nil, fmt.Errorf("expt: no bench model %q", model)
+	}
+	if iters <= 0 {
+		iters = 100
+	}
+
+	static := mb.Model.Static()
+	decisions := make([][]int, 0, len(mb.Test))
+	for _, ex := range mb.Test {
+		decisions = append(decisions, mb.Model.Decide(ex.Sample))
+	}
+	if len(decisions) == 0 {
+		return nil, fmt.Errorf("expt: %s has no test samples to resolve", model)
+	}
+	sw := obsv.StartTimer()
+	for i := 0; i < iters; i++ {
+		if _, err := graph.Resolve(static, decisions[i%len(decisions)]); err != nil {
+			return nil, fmt.Errorf("expt: %s resolve: %w", model, err)
+		}
+	}
+	resolveNS := sw.ElapsedNS()
+
+	eng := w.Engine(mb)
+	info := mb.Ctx.Paths[0]
+	sw = obsv.StartTimer()
+	for i := 0; i < iters; i++ {
+		eng.SimulatePartition(info.Analysis, info.Blocks)
+	}
+	desNS := sw.ElapsedNS()
+
+	return []MicroBenchResult{
+		{Name: "graph_resolve", Model: model, Iters: iters, TotalNS: resolveNS,
+			NsPerOp: float64(resolveNS) / float64(iters)},
+		{Name: "des_iteration", Model: model, Iters: iters, TotalNS: desNS,
+			NsPerOp: float64(desNS) / float64(iters)},
+	}, nil
+}

@@ -23,6 +23,7 @@ type Breakdown struct {
 
 // TotalNS is the wall-clock (virtual) duration.
 func (b Breakdown) TotalNS() int64 {
+	//dynnlint:ignore clockunits TotalNS is the documented sim+wall total; callers on the virtual clock must subtract OverheadNS
 	return b.ComputeNS + b.ExposedXferNS + b.RematNS + b.FaultNS + b.OverheadNS
 }
 

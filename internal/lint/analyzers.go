@@ -1,8 +1,13 @@
 package lint
 
-// All returns the full dynnlint analyzer suite in reporting order.
+// All returns the full dynnlint analyzer suite in reporting order: the five
+// AST-shallow passes from the original linter, then the four CFG/dataflow
+// resource-discipline passes.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Lockcheck, Floatcmp, Errdiscipline, Panicfree}
+	return []*Analyzer{
+		Determinism, Lockcheck, Floatcmp, Errdiscipline, Panicfree,
+		Allocleak, Clockunits, Spanbalance, Facade,
+	}
 }
 
 // ByName returns the subset of All() named in names (nil names = all).

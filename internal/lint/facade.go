@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ToolingImports whitelists the internal packages each harness/tooling binary
+// may reach past the facade. Binaries absent from this map are user-facing
+// CLIs and must import only the public dynnoffload package. The table is
+// shared with the repo-level facade boundary test so the analyzer and the
+// test can never drift apart.
+var ToolingImports = map[string][]string{
+	// The bench harness IS the experiment layer; it drives internal/expt
+	// directly and shares its recorder plumbing.
+	"dynnbench": {
+		"dynnoffload/internal/core",
+		"dynnoffload/internal/expt",
+		"dynnoffload/internal/faults",
+		"dynnoffload/internal/obsv",
+	},
+	// The repo linter walks internal packages by construction.
+	"dynnlint": {"dynnoffload/internal/lint"},
+	// The trace viewer decodes internal/obsv's span schema.
+	"dynntrace": {"dynnoffload/internal/obsv"},
+	// The pilot training tool pokes at pilot internals on purpose.
+	"pilottrain": {
+		"dynnoffload/internal/dynn",
+		"dynnoffload/internal/gpusim",
+		"dynnoffload/internal/nn",
+		"dynnoffload/internal/pilot",
+	},
+}
+
+// Facade enforces the command/facade boundary as a first-class analyzer:
+// packages under cmd/ may import dynnoffload/internal/... only through the
+// ToolingImports whitelist; everything else must go through the public
+// dynnoffload facade re-exports.
+var Facade = &Analyzer{
+	Name: "facade",
+	Doc:  "keep cmd/* binaries behind the public dynnoffload facade (whitelisted tooling excepted)",
+	Run:  runFacade,
+}
+
+const cmdPrefix = "dynnoffload/cmd/"
+
+func runFacade(pass *Pass) {
+	if !strings.HasPrefix(pass.Path, cmdPrefix) {
+		return
+	}
+	name := strings.TrimPrefix(pass.Path, cmdPrefix)
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		name = name[:i]
+	}
+	allowed := map[string]bool{}
+	for _, p := range ToolingImports[name] {
+		allowed[p] = true
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !strings.HasPrefix(path, "dynnoffload/internal") {
+				continue
+			}
+			if !allowed[path] {
+				pass.Report(imp.Pos(), "cmd/%s imports %s past the public facade; use a dynnoffload re-export or extend lint.ToolingImports with a rationale",
+					name, path)
+			}
+		}
+	}
+}

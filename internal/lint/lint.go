@@ -76,27 +76,42 @@ type Analyzer struct {
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var all []Finding
 	for _, pkg := range pkgs {
-		sup := collectDirectives(pkg.Fset, pkg.Files, analyzers)
-		var raw []Finding
-		for _, an := range analyzers {
-			pass := &Pass{
-				Analyzer: an,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				Path:     pkg.Path,
-				findings: &raw,
-			}
-			an.Run(pass)
-		}
-		for _, f := range raw {
-			if !sup.suppresses(f) {
-				all = append(all, f)
-			}
-		}
-		all = append(all, sup.malformed...)
+		all = append(all, runPackage(pkg, analyzers)...)
 	}
+	sortFindings(all)
+	return all
+}
+
+// runPackage applies the analyzers to one package and returns its surviving
+// findings (suppression applied, malformed directives appended), unsorted.
+// It touches only the package's own AST/types plus read-only imported type
+// information, so distinct packages may run concurrently.
+func runPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	sup := collectDirectives(pkg.Fset, pkg.Files, analyzers)
+	var raw []Finding
+	for _, an := range analyzers {
+		pass := &Pass{
+			Analyzer: an,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Path:     pkg.Path,
+			findings: &raw,
+		}
+		an.Run(pass)
+	}
+	var out []Finding
+	for _, f := range raw {
+		if !sup.suppresses(f) {
+			out = append(out, f)
+		}
+	}
+	return append(out, sup.malformed...)
+}
+
+// sortFindings orders findings by file, line, column, analyzer.
+func sortFindings(all []Finding) {
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].File != all[j].File {
 			return all[i].File < all[j].File
@@ -109,5 +124,4 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return all[i].Analyzer < all[j].Analyzer
 	})
-	return all
 }

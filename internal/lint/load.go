@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked (non-test) package.
@@ -26,9 +27,14 @@ type Package struct {
 // Loader parses and type-checks module packages with zero non-stdlib
 // dependencies: module-internal imports resolve to already-checked packages,
 // everything else falls through to the stdlib source importer.
+//
+// The loader may type-check independent packages from multiple goroutines:
+// the package map and the stdlib importer (which is not concurrency-safe) are
+// guarded by mu. The FileSet is safe for concurrent use on its own.
 type Loader struct {
 	fset *token.FileSet
 	std  types.ImporterFrom
+	mu   sync.Mutex
 	pkgs map[string]*Package // by import path
 }
 
@@ -48,12 +54,31 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.ImportFrom(path, "", 0)
 }
 
-// ImportFrom implements types.ImporterFrom.
+// ImportFrom implements types.ImporterFrom. The stdlib fallback is serialized
+// because the source importer keeps unsynchronized internal state; module
+// packages resolve from the (guarded) package map.
 func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if p, ok := l.pkgs[path]; ok {
 		return p.Types, nil
 	}
 	return l.std.ImportFrom(path, dir, mode)
+}
+
+// store publishes a checked package for importers; safe for concurrent use.
+func (l *Loader) store(pkg *Package) {
+	l.mu.Lock()
+	l.pkgs[pkg.Path] = pkg
+	l.mu.Unlock()
+}
+
+// lookup fetches a previously stored package; safe for concurrent use.
+func (l *Loader) lookup(path string) (*Package, bool) {
+	l.mu.Lock()
+	p, ok := l.pkgs[path]
+	l.mu.Unlock()
+	return p, ok
 }
 
 // LoadModule expands patterns ("./...", "./internal/core", "cmd/dynnlint")
@@ -148,6 +173,65 @@ func LoadDir(dir, importPath string) (*Package, error) {
 	}
 	if p == nil {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return l.typeCheck(p)
+}
+
+// LoadDirWithDeps type-checks dir as importPath like LoadDir, but resolves
+// module-internal imports against the real tree rooted at root (the directory
+// holding go.mod). Fixture packages use it to import production packages such
+// as internal/gpusim or internal/obsv so type-driven analyzers see the real
+// method sets.
+func LoadDirWithDeps(root, dir, importPath string) (*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := NewLoader()
+	checking := map[string]bool{}
+	var load func(ip string) error
+	load = func(ip string) error {
+		if _, ok := l.pkgs[ip]; ok {
+			return nil
+		}
+		if checking[ip] {
+			return fmt.Errorf("lint: import cycle through %q", ip)
+		}
+		checking[ip] = true
+		defer delete(checking, ip)
+		rel := strings.TrimPrefix(strings.TrimPrefix(ip, modPath), "/")
+		p, err := l.parseDirAs(filepath.Join(root, filepath.FromSlash(rel)), ip)
+		if err != nil || p == nil {
+			return fmt.Errorf("lint: cannot load module import %q: %v", ip, err)
+		}
+		for _, imp := range p.imports {
+			if imp == modPath || strings.HasPrefix(imp, modPath+"/") {
+				if err := load(imp); err != nil {
+					return err
+				}
+			}
+		}
+		pkg, err := l.typeCheck(p)
+		if err != nil {
+			return err
+		}
+		l.pkgs[ip] = pkg
+		return nil
+	}
+
+	p, err := l.parseDirAs(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	for _, imp := range p.imports {
+		if imp == modPath || strings.HasPrefix(imp, modPath+"/") {
+			if err := load(imp); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return l.typeCheck(p)
 }

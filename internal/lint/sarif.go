@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SARIF 2.1.0 output, shaped the way GitHub code scanning consumes it:
+// one run, one driver, rules indexed by analyzer, results with physical
+// locations whose URIs are %SRCROOT%-relative. Only the fields GitHub reads
+// are emitted; the schema allows (and ignores) the omissions.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log. File paths are emitted
+// relative to root with forward slashes (uriBaseId %SRCROOT%), which is what
+// GitHub's upload-sarif action expects for repo-rooted annotations. The rules
+// table always covers the full analyzer set passed in, plus the "dynnlint"
+// pseudo-rule for malformed suppression directives, so rule indices are
+// stable whether or not a given analyzer fired.
+func WriteSARIF(w io.Writer, root string, analyzers []*Analyzer, findings []Finding) error {
+	rules := []sarifRule{{
+		ID:               "dynnlint",
+		ShortDescription: sarifMessage{Text: "malformed //dynnlint:ignore directive"},
+	}}
+	index := map[string]int{"dynnlint": 0}
+	ans := append([]*Analyzer(nil), analyzers...)
+	sort.Slice(ans, func(i, j int) bool { return ans[i].Name < ans[j].Name })
+	for _, an := range ans {
+		index[an.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: an.Name, ShortDescription: sarifMessage{Text: an.Doc}})
+	}
+
+	results := []sarifResult{}
+	for _, f := range findings {
+		uri := f.File
+		if rel, err := filepath.Rel(root, f.File); err == nil && !strings.HasPrefix(rel, "..") {
+			uri = rel
+		}
+		uri = filepath.ToSlash(uri)
+		idx, ok := index[f.Analyzer]
+		if !ok {
+			// An unregistered analyzer name (shouldn't happen): grow the
+			// rules table rather than emit a dangling index.
+			idx = len(rules)
+			index[f.Analyzer] = idx
+			rules = append(rules, sarifRule{ID: f.Analyzer, ShortDescription: sarifMessage{Text: f.Analyzer}})
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: uri, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "dynnlint",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Spanbalance pairs begin/end tracing calls over the per-function CFG: once a
+// SampleTrace's wall envelope is opened with StartWall, every path out of the
+// function must close it with StopWall on the same receiver (a deferred
+// StopWall counts). An unbalanced envelope silently corrupts the span's wall
+// annotations instead of crashing, which is exactly the failure mode the
+// tracer's determinism contract cannot tolerate.
+//
+// The pair table is data, not code: new begin/end disciplines (e.g. a future
+// Tracer.Push/Pop) are one entry each.
+var Spanbalance = &Analyzer{
+	Name: "spanbalance",
+	Doc:  "require every span/envelope begin call to reach its matching end call on all paths",
+	Run:  runSpanbalance,
+}
+
+const obsvPath = "dynnoffload/internal/obsv"
+
+// spanPair describes one begin/end discipline on a receiver type.
+type spanPair struct {
+	pkg      string // package path of the receiver's named type
+	typeName string // receiver type name
+	begin    string
+	end      string
+}
+
+var spanPairs = []spanPair{
+	{pkg: obsvPath, typeName: "SampleTrace", begin: "StartWall", end: "StopWall"},
+}
+
+func runSpanbalance(pass *Pass) {
+	if !importsObsv(pass) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The tracer's own methods implement the discipline.
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				if named := namedOf(pass.Info.TypeOf(fd.Recv.List[0].Type)); named != nil {
+					if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == obsvPath {
+						continue
+					}
+				}
+			}
+			analyzeSpanFunc(pass, fd)
+			// Every function literal gets its own CFG (including literals
+			// nested in literals — fanOut callbacks inside goroutines): a
+			// body opening an envelope must close it within that body.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					analyzeSpanBody(pass, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func importsObsv(pass *Pass) bool {
+	if pkgPathHasPrefix(pass.Path, obsvPath) {
+		return true
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Path() == obsvPath {
+			return true
+		}
+	}
+	return false
+}
+
+// namedOf unwraps pointers to the named type underneath, if any.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// spanFact is one open envelope: begun here, not yet ended.
+type spanFact struct {
+	key  string
+	pos  token.Pos
+	pair spanPair
+}
+
+func analyzeSpanFunc(pass *Pass, fd *ast.FuncDecl) {
+	analyzeSpanBody(pass, fd.Body)
+}
+
+func analyzeSpanBody(pass *Pass, body *ast.BlockStmt) {
+	sa := &spanAnalysis{pass: pass, keys: map[types.Object]string{}}
+	g := buildCFG(body)
+
+	in := make([]map[string]spanFact, len(g.blocks))
+	for i := range g.blocks {
+		in[i] = map[string]spanFact{}
+	}
+	work := []int{g.entry.index}
+	queued := map[int]bool{g.entry.index: true}
+	out := make([]map[string]spanFact, len(g.blocks))
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		queued[bi] = false
+		state := map[string]spanFact{}
+		for k, v := range in[bi] {
+			state[k] = v
+		}
+		for _, n := range g.blocks[bi].nodes {
+			sa.transfer(state, n)
+		}
+		out[bi] = state
+		for _, e := range g.blocks[bi].succs {
+			changed := false
+			dst := in[e.to.index]
+			for k, v := range state {
+				if _, ok := dst[k]; !ok {
+					dst[k] = v
+					changed = true
+				}
+			}
+			if changed && !queued[e.to.index] {
+				queued[e.to.index] = true
+				work = append(work, e.to.index)
+			}
+		}
+	}
+
+	leaks := map[string]spanFact{}
+	for i, blk := range g.blocks {
+		if !blk.exits || out[i] == nil {
+			continue
+		}
+		state := map[string]spanFact{}
+		for k, v := range out[i] {
+			state[k] = v
+		}
+		for _, d := range g.defers {
+			sa.applyEnd(state, d)
+		}
+		for k, f := range state {
+			leaks[k] = f
+		}
+	}
+	keys := make([]string, 0, len(leaks))
+	for k := range leaks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f := leaks[k]
+		pass.Report(f.pos, "%s.%s without a matching %s on every path; close the envelope before returning (defer works)",
+			f.pair.typeName, f.pair.begin, f.pair.end)
+	}
+}
+
+type spanAnalysis struct {
+	pass    *Pass
+	keys    map[types.Object]string
+	nextKey int
+}
+
+func (sa *spanAnalysis) exprKey(e ast.Expr) string {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		obj := objectOf(sa.pass.Info, v)
+		if obj == nil {
+			return "?" + v.Name
+		}
+		if k, ok := sa.keys[obj]; ok {
+			return k
+		}
+		sa.nextKey++
+		k := "o" + itoa(sa.nextKey)
+		sa.keys[obj] = k
+		return k
+	case *ast.SelectorExpr:
+		return sa.exprKey(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return sa.exprKey(v.X) + "[" + sa.exprKey(v.Index) + "]"
+	case *ast.StarExpr:
+		return sa.exprKey(v.X)
+	default:
+		return "@" + itoa(int(e.Pos()))
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// pairCall matches a call against the pair table; beginning reports the pair
+// and which side the call is.
+func (sa *spanAnalysis) pairCall(call *ast.CallExpr) (recv ast.Expr, p spanPair, isBegin, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, spanPair{}, false, false
+	}
+	named := namedOf(sa.pass.Info.TypeOf(sel.X))
+	if named == nil || named.Obj().Pkg() == nil {
+		return nil, spanPair{}, false, false
+	}
+	for _, sp := range spanPairs {
+		if named.Obj().Pkg().Path() != sp.pkg || named.Obj().Name() != sp.typeName {
+			continue
+		}
+		switch sel.Sel.Name {
+		case sp.begin:
+			return sel.X, sp, true, true
+		case sp.end:
+			return sel.X, sp, false, true
+		}
+	}
+	return nil, spanPair{}, false, false
+}
+
+func (sa *spanAnalysis) transfer(state map[string]spanFact, n ast.Node) {
+	var scan ast.Node
+	switch v := n.(type) {
+	case *ast.DeferStmt:
+		return // replayed at exits
+	case *condNode:
+		scan = v.cond
+	default:
+		scan = n
+	}
+	ast.Inspect(scan, func(nn ast.Node) bool {
+		if _, ok := nn.(*ast.FuncLit); ok {
+			return false // analyzed separately
+		}
+		call, ok := nn.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, p, isBegin, ok := sa.pairCall(call)
+		if !ok {
+			return true
+		}
+		key := sa.exprKey(recv) + "|" + p.typeName + "." + p.begin
+		if isBegin {
+			state[key] = spanFact{key: key, pos: call.Pos(), pair: p}
+		} else {
+			delete(state, key)
+		}
+		return true
+	})
+}
+
+// applyEnd closes envelopes ended by a deferred call.
+func (sa *spanAnalysis) applyEnd(state map[string]spanFact, call *ast.CallExpr) {
+	recv, p, isBegin, ok := sa.pairCall(call)
+	if !ok || isBegin {
+		return
+	}
+	delete(state, sa.exprKey(recv)+"|"+p.typeName+"."+p.begin)
+}

@@ -1,0 +1,23 @@
+// Package fixture pins the allocleak suppression contract: a documented
+// lifetime-pin acquisition is silenced with //dynnlint:ignore and a reason.
+package fixture
+
+// Allocator is the fixture stand-in for gpusim.Allocator.
+type Allocator struct {
+	used int64
+}
+
+// Alloc acquires with a bool success flag.
+func (a *Allocator) Alloc(id, size int64) bool {
+	a.used += size
+	return true
+}
+
+// Free releases an acquisition.
+func (a *Allocator) Free(id int64) { a.used -= 0 }
+
+// PinForever intentionally never frees: the block lives until process exit.
+func PinForever(a *Allocator, id, size int64) bool {
+	//dynnlint:ignore allocleak pinned for the process lifetime; Allocator.Reset releases it
+	return a.Alloc(id, size)
+}

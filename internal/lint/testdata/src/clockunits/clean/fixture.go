@@ -1,0 +1,34 @@
+// Package fixture is the clean twin of the clockunits flagged fixture: sums
+// and comparisons stay within one dimension, and multiplication/division
+// (which legitimately change dimension) are left alone.
+package fixture
+
+import (
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/obsv"
+)
+
+// DeviceTime sums the simulated components only.
+func DeviceTime(b gpusim.Breakdown) int64 {
+	return b.ComputeNS + b.ExposedXferNS + b.RematNS + b.FaultNS
+}
+
+// HostTime sums the wall-clock components only.
+func HostTime(b gpusim.Breakdown, sw obsv.Stopwatch) int64 {
+	return b.OverheadNS + sw.ElapsedNS()
+}
+
+// BytesPerSecond changes dimension through division, which is sanctioned.
+func BytesPerSecond(b gpusim.Breakdown) int64 {
+	if b.ComputeNS == 0 {
+		return 0
+	}
+	return b.H2DBytes * 1000000000 / b.ComputeNS
+}
+
+// Horizon keeps simulated stream times with simulated stream times.
+func Horizon(s *gpusim.Streams, ready, dur int64) int64 {
+	h2d := s.RunH2D(ready, dur)
+	compute := s.RunCompute(h2d, dur)
+	return compute - h2d
+}

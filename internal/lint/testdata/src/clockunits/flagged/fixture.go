@@ -1,0 +1,36 @@
+// Package fixture seeds every clockunits violation class: simulated-vs-wall
+// comparison, sim+wall addition, bytes-vs-time comparison, and a wall value
+// folded into a simulated accumulator.
+package fixture
+
+import (
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/obsv"
+)
+
+// DeviceBudget compares the simulated busy horizon against a host stopwatch:
+// the two clocks must never meet.
+func DeviceBudget(s *gpusim.Streams, sw obsv.Stopwatch, ready, dur int64) bool {
+	busy := s.RunCompute(ready, dur)
+	host := sw.ElapsedNS()
+	return busy < host
+}
+
+// GrandTotal adds the wall-clock overhead into a simulated sum.
+func GrandTotal(b gpusim.Breakdown) int64 {
+	device := b.ComputeNS + b.ExposedXferNS
+	return device + b.OverheadNS
+}
+
+// BytesVsTime compares traffic against device time.
+func BytesVsTime(b gpusim.Breakdown) bool {
+	return b.H2DBytes > b.ComputeNS
+}
+
+// Accumulate folds the wall overhead into a simulated accumulator.
+func Accumulate(b gpusim.Breakdown) int64 {
+	var busy int64
+	busy = b.ComputeNS
+	busy += b.OverheadNS
+	return busy
+}

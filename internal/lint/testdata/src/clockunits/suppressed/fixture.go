@@ -1,0 +1,11 @@
+// Package fixture pins the clockunits suppression contract: the one
+// sanctioned sim+wall sum is silenced with //dynnlint:ignore and a reason.
+package fixture
+
+import "dynnoffload/internal/gpusim"
+
+// WallTotal mirrors Breakdown.TotalNS, the documented sim+wall total.
+func WallTotal(b gpusim.Breakdown) int64 {
+	//dynnlint:ignore clockunits mirrors Breakdown.TotalNS, the sanctioned sim+wall total
+	return b.ComputeNS + b.OverheadNS
+}

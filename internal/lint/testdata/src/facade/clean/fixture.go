@@ -1,0 +1,10 @@
+// Command dynntrace's clean fixture: the trace viewer is whitelisted in
+// lint.ToolingImports for dynnoffload/internal/obsv, so this import passes.
+package main
+
+import "dynnoffload/internal/obsv"
+
+func main() {
+	sw := obsv.StartTimer()
+	_ = sw.ElapsedNS()
+}

@@ -1,0 +1,13 @@
+// Command dynnfix is the facade flagged fixture: a user-facing binary (not in
+// lint.ToolingImports) reaching into internal packages directly.
+package main
+
+import (
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/obsv"
+)
+
+func main() {
+	_ = gpusim.NewAllocator(1 << 20)
+	_ = obsv.StartTimer()
+}

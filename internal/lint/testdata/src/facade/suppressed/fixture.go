@@ -1,0 +1,12 @@
+// Command dynnfix's suppressed fixture: a non-whitelisted internal import
+// silenced with //dynnlint:ignore and a reason.
+package main
+
+import (
+	//dynnlint:ignore facade prototype wiring; graduating to a public re-export next release
+	"dynnoffload/internal/obsv"
+)
+
+func main() {
+	_ = obsv.StartTimer()
+}

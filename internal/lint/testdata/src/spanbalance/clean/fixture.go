@@ -1,0 +1,36 @@
+// Package fixture is the clean twin of the spanbalance flagged fixture:
+// envelopes close on every path — by defer, per branch, and inside each
+// function literal that opened one.
+package fixture
+
+import "dynnoffload/internal/obsv"
+
+// DeferredStop closes the envelope on every path through a defer.
+func DeferredStop(t *obsv.Tracer, idx int, work func() error) error {
+	st := t.Sample(idx)
+	st.StartWall()
+	defer st.StopWall()
+	return work()
+}
+
+// BranchedStop closes the envelope explicitly on each path.
+func BranchedStop(t *obsv.Tracer, idx int, fast bool) {
+	st := t.Sample(idx)
+	st.StartWall()
+	if fast {
+		st.StopWall()
+		return
+	}
+	st.StopWall()
+}
+
+// BalancedCallback opens and closes within the same literal body.
+func BalancedCallback(t *obsv.Tracer, n int) {
+	for i := 0; i < n; i++ {
+		go func(idx int) {
+			st := t.Sample(idx)
+			st.StartWall()
+			defer st.StopWall()
+		}(i)
+	}
+}

@@ -1,0 +1,28 @@
+// Package fixture seeds the spanbalance violation classes: an envelope lost
+// on an early error return, and one opened inside a goroutine literal and
+// never closed in that body.
+package fixture
+
+import "dynnoffload/internal/obsv"
+
+// LeakOnError opens the wall envelope and loses it on the error path.
+func LeakOnError(t *obsv.Tracer, idx int, work func() error) error {
+	st := t.Sample(idx)
+	st.StartWall()
+	if err := work(); err != nil {
+		return err
+	}
+	st.StopWall()
+	return nil
+}
+
+// LeakInCallback opens an envelope inside a goroutine literal and never
+// closes it there.
+func LeakInCallback(t *obsv.Tracer, n int) {
+	for i := 0; i < n; i++ {
+		go func(idx int) {
+			st := t.Sample(idx)
+			st.StartWall()
+		}(i)
+	}
+}

@@ -1,0 +1,13 @@
+// Package fixture pins the spanbalance suppression contract: an envelope
+// intentionally handed to the caller open is silenced with a reason.
+package fixture
+
+import "dynnoffload/internal/obsv"
+
+// OpenEnvelope registers a sample and returns it with the envelope open.
+func OpenEnvelope(t *obsv.Tracer, idx int) *obsv.SampleTrace {
+	st := t.Sample(idx)
+	//dynnlint:ignore spanbalance envelope intentionally stays open; the caller stops it after annotating
+	st.StartWall()
+	return st
+}
