@@ -1,8 +1,10 @@
 GO ?= go
 FUZZTIME ?= 20s
 COVER_MIN ?= 70
+BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_REGRESS ?= 25
 
-.PHONY: build test check race race-full fmt vet lint bench fuzz cover trace serve-smoke cluster-smoke
+.PHONY: build test check race race-full fmt vet lint bench benchcheck fuzz cover trace serve-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +41,14 @@ race-full:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
+# Benchmark-regression gate: re-run the hot-path suite (graph_resolve,
+# des_iteration, plan_cache_hit/miss, serve_step) and fail on any ns/op more
+# than BENCH_REGRESS% over the committed baseline. Leaves bench-current.json
+# behind for inspection / CI artifact upload.
+benchcheck:
+	$(GO) run ./cmd/dynnbench -benchjson bench-current.json \
+		-benchbaseline $(BENCH_BASELINE) -benchregress $(BENCH_REGRESS)
+
 # Native Go fuzzing of graph resolution and the Sentinel partitioner. Each
 # -fuzz pattern needs its own go test invocation; seed corpora live under the
 # packages' testdata/fuzz/. CI runs this with a short FUZZTIME as a smoke
@@ -46,6 +56,7 @@ bench:
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzResolve$$' -fuzztime $(FUZZTIME) ./internal/dynn
 	$(GO) test -run '^$$' -fuzz '^FuzzPartition$$' -fuzztime $(FUZZTIME) ./internal/sentinel
+	$(GO) test -run '^$$' -fuzz '^FuzzPlanSignature$$' -fuzztime $(FUZZTIME) ./internal/graph
 
 # Coverage gate over the internal packages: fails below COVER_MIN% total.
 # Leaves coverage.out behind for inspection / CI artifact upload.

@@ -14,8 +14,10 @@ import (
 	"sync"
 	"testing"
 
+	"dynnoffload/internal/core"
 	"dynnoffload/internal/expt"
 	"dynnoffload/internal/graph"
+	"dynnoffload/internal/serve"
 )
 
 // benchOpts are deliberately small: the benchmarks exist to regenerate every
@@ -283,5 +285,74 @@ func BenchmarkOffloadIteration(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.SimulatePartition(info.Analysis, info.Blocks)
+	}
+}
+
+// BenchmarkPlanCacheMiss pays plan compilation on every iteration: each run
+// hits a cold engine, so the measured op is the liveness walks plus the first
+// simulation — what a sweep grid point costs per path without the shared
+// cache.
+func BenchmarkPlanCacheMiss(b *testing.B) {
+	w := workbench(b)
+	mb := w.Bench("var-BERT")
+	info := mb.Ctx.Paths[0]
+	engines := make([]*core.Engine, b.N)
+	for i := range engines {
+		engines[i] = core.NewEngine(core.DefaultConfig(mb.Platform), w.Pilot)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engines[i].SimulatePartition(info.Analysis, info.Blocks)
+	}
+}
+
+// BenchmarkPlanCacheHit times the shared L2 lookup by the engines' own cache
+// keys on a warmed cache — the per-sample cost of skipping compilation.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	w := workbench(b)
+	mb := w.Bench("var-BERT")
+	eng := w.Engine(mb)
+	if _, err := eng.RunBatch(mb.Test, core.EpochOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	capacity := mb.Platform.GPU.MemBytes
+	keys := make([]string, 0, len(mb.Test))
+	for _, ex := range mb.Test {
+		if k := core.PlanCacheKey(ex.Ctx.PathByKey(ex.TruthKey), capacity); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		b.Fatal("no plan-cache keys to probe")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := w.Plans.Lookup(keys[i%len(keys)]); !ok {
+			b.Fatal("plan cache cold after warmup")
+		}
+	}
+}
+
+// BenchmarkServeStep measures the mean cost per served request through the
+// multi-tenant front end (admission, EDF batching, reservation, dispatch)
+// under a saturating single-tenant stream; one op is one completed request.
+func BenchmarkServeStep(b *testing.B) {
+	w := workbench(b)
+	mb := w.Bench("var-BERT")
+	cfg := core.DefaultConfig(mb.Platform)
+	cfg.Plans = w.Plans
+	eng := core.NewEngine(cfg, w.Pilot)
+	b.ResetTimer()
+	rep, err := serve.Run(&serve.Backend{Engine: eng, Pool: mb.Test}, serve.Config{
+		Tenants: []serve.TenantConfig{{
+			Name: "bench", Requests: b.N, RatePerSec: 1e6,
+			Seed: benchOpts().Seed + 7, MaxQueue: b.N,
+		}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if int(rep.Total.Completed) != b.N {
+		b.Fatalf("completed %d of %d requests", rep.Total.Completed, b.N)
 	}
 }

@@ -189,6 +189,10 @@ type System struct {
 	ctx    *pilot.ModelContext
 	pilot  *pilot.Pilot
 	engine *core.Engine
+	// plans is shared by every engine the system builds — the training
+	// engine, each Serve call's engine, and every per-GPU cluster engine —
+	// so resolved plans compile once per (path, capacity) system-wide.
+	plans *core.PlanCache
 
 	runnerMu sync.Mutex
 	runners  map[string]Runner
@@ -226,7 +230,7 @@ func newSystem(cfg SystemConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, ctx: ctx, pilot: cfg.Pilot}
+	s := &System{cfg: cfg, ctx: ctx, pilot: cfg.Pilot, plans: core.NewPlanCache()}
 	if s.pilot != nil {
 		s.engine = core.NewEngine(s.engineConfig(), s.pilot)
 	}
@@ -271,6 +275,7 @@ func (s *System) Platform() Platform { return s.cfg.Platform }
 // defaults plus the fault injector when one is enabled).
 func (s *System) engineConfig() core.Config {
 	ecfg := core.DefaultConfig(s.cfg.Platform)
+	ecfg.Plans = s.plans
 	if s.cfg.Faults.Rate > 0 {
 		ecfg.Faults = faults.New(s.cfg.Faults)
 	}

@@ -66,6 +66,17 @@ type Config struct {
 	// default: training epochs measure pilot quality, and a sample memo would
 	// hide every mis-prediction after the first epoch.
 	MemoizeSamples bool
+	// Plans, when non-nil, is a shared resolved-plan cache (L2): engines
+	// built for different sweep grid points reuse each other's compiled
+	// plans when path signature, context fingerprint, and GPU capacity
+	// match. Each engine always keeps its own pointer-keyed L1 regardless.
+	Plans *PlanCache
+	// NoPlanCache disables plan compilation entirely: every sample re-walks
+	// the analysis exactly as the pre-plan runtime did. Plans are pure
+	// functions of their inputs, so this changes no result — it exists so
+	// the equivalence property tests have a reference path to compare
+	// against (and as an escape hatch).
+	NoPlanCache bool
 }
 
 // RetryPolicy bounds retry-with-exponential-backoff: a faulted operation is
@@ -110,6 +121,10 @@ type Engine struct {
 	// sample memo (Config.MemoizeSamples): sample ID -> resolved path key of
 	// a previously executed mis-predicted request.
 	memo *shardedCache
+	// resolved-plan L1s (see plan.go): paths by PathInfo identity, custom
+	// partitions by (analysis ID, partition digest).
+	pathPlans planL1[*pilot.PathInfo]
+	partPlans planL1[partPlanKey]
 }
 
 // NewEngine builds a runtime around a trained pilot.
@@ -269,10 +284,14 @@ func (e *Engine) faultStream(ex *pilot.Example) *faults.Stream {
 // trace collector). The error is non-nil only when the degradation ladder is
 // genuinely stuck (ErrCapacityExceeded) — never in fault-free runs.
 func (e *Engine) simulate(d decision, fs *faults.Stream, st *obsv.SampleTrace) (gpusim.Breakdown, error) {
-	if d.mispredicted || e.Cfg.ForceOnDemand {
-		return e.simulateOnDemand(d.truth.Analysis, d.truth.Blocks, fs, st), nil
+	var plan *ResolvedPlan
+	if !e.Cfg.NoPlanCache {
+		plan = e.planFor(d.truth)
 	}
-	return e.simulatePipelined(d.truth.Analysis, d.truth.Blocks, fs, st)
+	if d.mispredicted || e.Cfg.ForceOnDemand {
+		return e.simulateOnDemand(d.truth.Analysis, d.truth.Blocks, plan, fs, st), nil
+	}
+	return e.simulatePipelined(d.truth.Analysis, d.truth.Blocks, plan, fs, st)
 }
 
 // RunSample simulates one training iteration: pilot inference, output→path
@@ -331,7 +350,7 @@ func (e *Engine) RunSampleTraced(ex *pilot.Example, st *obsv.SampleTrace) (Sampl
 // fit in CPU+GPU memory, and the largest single-operator working set must fit
 // in the work buffer.
 func (e *Engine) checkCapacity(info *pilot.PathInfo) error {
-	total := info.Trace.TotalBytes()
+	total := info.Analysis.TotalBytes()
 	avail := e.Cfg.Platform.CPUMemBytes + e.Cfg.Platform.GPU.MemBytes
 	if total > avail {
 		return fmt.Errorf("core: model needs %d bytes, CPU+GPU have %d: %w", total, avail, ErrCapacityExceeded)

@@ -60,7 +60,13 @@ func (e *Engine) xfer(s *gpusim.Streams, lane gpusim.Lane, fs *faults.Stream, re
 // the tensor-fault handler round trip. Faults perturb timing and traffic
 // only; the returned error is non-nil solely when eviction cannot free
 // enough space (genuine capacity exhaustion).
-func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Block, fs *faults.Stream, st *obsv.SampleTrace) (gpusim.Breakdown, error) {
+// With a non-nil plan the same schedule executes from the compiled block
+// tables instead (simulatePipelinedPlan); plan == nil is the reference path,
+// kept verbatim so Config.NoPlanCache runs exactly the pre-plan arithmetic.
+func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Block, plan *ResolvedPlan, fs *faults.Stream, st *obsv.SampleTrace) (gpusim.Breakdown, error) {
+	if plan != nil {
+		return e.simulatePipelinedPlan(plan, fs, st)
+	}
 	var bd gpusim.Breakdown
 	if len(blocks) == 0 {
 		return bd, nil
@@ -245,7 +251,10 @@ func (e *Engine) simulatePipelined(an *sentinel.Analysis, blocks []sentinel.Bloc
 // demand"). Injected faults stretch the exposed transfers (stall) or force
 // re-issues with backoff (abort); the path is already fully on-demand, so
 // prefetch-drop and allocation faults have nothing further to degrade.
-func (e *Engine) simulateOnDemand(an *sentinel.Analysis, blocks []sentinel.Block, fs *faults.Stream, st *obsv.SampleTrace) gpusim.Breakdown {
+func (e *Engine) simulateOnDemand(an *sentinel.Analysis, blocks []sentinel.Block, plan *ResolvedPlan, fs *faults.Stream, st *obsv.SampleTrace) gpusim.Breakdown {
+	if plan != nil {
+		return e.simulateOnDemandPlan(plan.Plan, fs, st)
+	}
 	var bd gpusim.Breakdown
 	if an.PeakResidentBytes() <= e.Cfg.Platform.GPU.MemBytes {
 		// Fits on GPU: the wrong prediction costs only the fault round trip.
@@ -348,7 +357,14 @@ func min64(a, b int64) int64 {
 // the even-ops/even-time/even-bytes heuristics under identical runtime
 // semantics. Always fault-free, so the error branch (capacity exhaustion
 // during evict-and-retry, reachable only with injection) cannot fire.
+// Repeated calls on one partition hit the engine's plan cache (keyed by
+// analysis identity and partition digest), so sweeping iterations over a
+// fixed partition costs one compilation, not one liveness walk per call.
 func (e *Engine) SimulatePartition(an *sentinel.Analysis, blocks []sentinel.Block) gpusim.Breakdown {
-	bd, _ := e.simulatePipelined(an, blocks, nil, nil)
+	var plan *ResolvedPlan
+	if !e.Cfg.NoPlanCache {
+		plan = e.partitionPlan(an, blocks)
+	}
+	bd, _ := e.simulatePipelined(an, blocks, plan, nil, nil)
 	return bd
 }

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"dynnoffload/internal/faults"
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/obsv"
+	"dynnoffload/internal/sentinel"
+)
+
+// This file is the plan-backed twin of simulate.go: the same double-buffered
+// and on-demand schedules, executed from a compiled ResolvedPlan instead of
+// re-walking the analysis per sample. Every byte count, clock update, trace
+// span, and fault-stream consultation happens in the same order with the
+// same values as the reference path — the plan arrays are exactly what the
+// reference path would have computed — so results are bit-identical with the
+// cache on or off, fault-free or faulted. The equivalence property tests
+// (plan_prop_test.go) pin this.
+//
+// What the plan path does NOT do per sample: no MemPool construction
+// (fault-free runs skip residency materialization entirely — the peak was
+// replayed once at plan build; faulted runs acquire a pooled arena), no
+// liveness walks, no map allocations. That is the difference between ~92µs
+// and a few µs per simulated iteration.
+
+// simulatePipelinedPlan executes one iteration under the double-buffered
+// prefetch schedule from a compiled plan. See simulatePipelined for the
+// schedule semantics; the structure below mirrors it line for line.
+func (e *Engine) simulatePipelinedPlan(rp *ResolvedPlan, fs *faults.Stream, st *obsv.SampleTrace) (gpusim.Breakdown, error) {
+	plan := rp.Plan
+	var bd gpusim.Breakdown
+	n := plan.NumBlocks()
+	if n == 0 {
+		return bd, nil
+	}
+
+	// Fast path: the liveness peak fits on the GPU — no offloading needed.
+	if plan.PeakResidentBytes <= e.Cfg.Platform.GPU.MemBytes {
+		bd.ComputeNS = plan.TotalComputeNS
+		bd.PeakGPUBytes = plan.PeakResidentBytes
+		if st != nil {
+			var cursor int64
+			for i := 0; i < n; i++ {
+				c := plan.ComputeNS[i]
+				st.Span(obsv.SpanCompute, obsv.LaneCompute, i, cursor, c, 0)
+				cursor += c
+			}
+		}
+		return bd, nil
+	}
+
+	// Fault-free samples need no residency materialization — the peak was
+	// replayed at plan build — so the pool exists only under injection,
+	// where evict-and-retry genuinely mutates residency. The Streams zero
+	// value is the valid fault-free stream set, so it lives on the stack.
+	var laneClocks gpusim.Streams
+	streams := &laneClocks
+	var pool *gpusim.MemPool
+	if fs != nil {
+		streams = gpusim.NewStreams(gpusim.WithFaultStream(fs))
+		pool = gpusim.AcquireMemPool(e.Cfg.Platform.GPU.MemBytes)
+		defer gpusim.ReleaseMemPool(pool)
+	}
+
+	// addAll/dropAll: identical to the reference path's ladder, reading
+	// tensor sizes positionally from the plan instead of the analysis map.
+	// Only called under injection (fault-free, the reference ladder is a
+	// residency-only no-op with unchanged clocks).
+	addAll := func(block int, ready int64) (int64, error) {
+		ids := plan.WorkingIDs[block]
+		sizes := plan.WorkingIDBytes[block]
+		for j, id := range ids {
+			bytes := sizes[j]
+			if fs.Alloc() {
+				backoff := e.Cfg.Retry.BackoffNS
+				for attempt := 1; attempt < e.Cfg.Retry.MaxAttempts; attempt++ {
+					st.Retry(obsv.LaneHost, block, ready, backoff, 0, attempt)
+					fs.NoteRetry(backoff)
+					ready += backoff
+					backoff *= 2
+					if !fs.Alloc() {
+						break
+					}
+				}
+			}
+			err := pool.Add(id, bytes)
+			if err == nil {
+				continue
+			}
+			need := bytes - pool.Free()
+			var evicted int64
+			for _, v := range pool.Victims(need, nil) {
+				evicted += pool.Remove(v)
+			}
+			if evicted > 0 {
+				bd.D2HBytes += evicted
+				ready = e.xfer(streams, gpusim.LaneD2H, fs, ready, e.CM.BatchedXferTime(evicted),
+					st, obsv.SpanEvict, block, evicted)
+			}
+			fs.NoteEvictRetry()
+			if err := pool.Add(id, bytes); err != nil {
+				return ready, fmt.Errorf("core: tensor %d (%d bytes) after evicting %d: %w",
+					id, bytes, evicted, ErrCapacityExceeded)
+			}
+		}
+		return ready, nil
+	}
+	dropAll := func(block int) {
+		for _, id := range plan.WorkingIDs[block] {
+			pool.Remove(id)
+		}
+	}
+
+	fetch0 := plan.FetchBytes[0]
+	mig := e.xfer(streams, gpusim.LaneH2D, fs, 0, e.CM.BatchedXferTime(fetch0),
+		st, obsv.SpanPrefetch, 0, fetch0)
+	bd.H2DBytes += fetch0
+	var err error
+	if fs != nil {
+		if mig, err = addAll(0, mig); err != nil {
+			return bd, err
+		}
+	}
+
+	dropped := false
+	var droppedBytes int64
+	computeEnd := int64(0)
+	for i := 0; i < n; i++ {
+		start := mig
+		if computeEnd > start {
+			start = computeEnd
+		}
+		if dropped { // reachable only under injection
+			start = e.xfer(streams, gpusim.LaneH2D, fs, start, e.CM.BatchedXferTime(droppedBytes),
+				st, obsv.SpanOnDemand, i, droppedBytes)
+			bd.H2DBytes += droppedBytes
+			bd.FaultNS += e.Cfg.FaultLatencyNS
+			bd.Faults++
+			st.Span(obsv.SpanFault, obsv.LaneHost, i, start, e.Cfg.FaultLatencyNS, 0)
+			fs.NoteOnDemandFallback()
+			if start, err = addAll(i, start); err != nil {
+				return bd, err
+			}
+		}
+		if start > computeEnd {
+			bd.ExposedXferNS += start - computeEnd
+		}
+
+		if i+1 < n {
+			migStart := max64(mig, start)
+			if i > 0 {
+				evict := plan.PipeEvictBytes[i]
+				migStart = e.xfer(streams, gpusim.LaneD2H, fs, migStart, e.CM.BatchedXferTime(evict),
+					st, obsv.SpanEvict, i-1, evict)
+				bd.D2HBytes += evict
+				if fs != nil {
+					dropAll(i - 1)
+				}
+			}
+			fetch := plan.FetchBytes[i+1]
+			if fs != nil && fs.PrefetchDrop() {
+				dropped, droppedBytes = true, fetch
+				mig = migStart
+			} else {
+				dropped = false
+				mig = e.xfer(streams, gpusim.LaneH2D, fs, migStart, e.CM.BatchedXferTime(fetch),
+					st, obsv.SpanPrefetch, i+1, fetch)
+				bd.H2DBytes += fetch
+				if fs != nil {
+					if mig, err = addAll(i+1, mig); err != nil {
+						return bd, err
+					}
+				}
+			}
+		}
+
+		blockCompute := plan.ComputeNS[i]
+		st.Span(obsv.SpanCompute, obsv.LaneCompute, i, start, blockCompute, 0)
+		bd.ComputeNS += blockCompute
+		computeEnd = start + blockCompute
+	}
+
+	if mig > computeEnd {
+		bd.ExposedXferNS += mig - computeEnd
+	}
+	bd.OverlapXferNS = e.CM.BatchedXferTime(bd.H2DBytes+bd.D2HBytes) - bd.ExposedXferNS
+	if bd.OverlapXferNS < 0 {
+		bd.OverlapXferNS = 0
+	}
+	if pool != nil {
+		bd.PeakGPUBytes = pool.Peak()
+	} else {
+		bd.PeakGPUBytes = rp.PipelinedPeakBytes
+	}
+	return bd, nil
+}
+
+// simulateOnDemandPlan is the plan-backed mis-prediction path: every block's
+// migration exposed on the critical path plus the tensor-fault round trip.
+// See simulateOnDemand for semantics; only the table lookups differ.
+func (e *Engine) simulateOnDemandPlan(plan *sentinel.BlockPlan, fs *faults.Stream, st *obsv.SampleTrace) gpusim.Breakdown {
+	var bd gpusim.Breakdown
+	n := plan.NumBlocks()
+	if plan.PeakResidentBytes <= e.Cfg.Platform.GPU.MemBytes {
+		bd.ComputeNS = plan.TotalComputeNS
+		bd.FaultNS = e.Cfg.FaultLatencyNS
+		bd.Faults = 1
+		bd.PeakGPUBytes = plan.PeakResidentBytes
+		if st != nil {
+			cursor := e.Cfg.FaultLatencyNS
+			st.Span(obsv.SpanFault, obsv.LaneHost, 0, 0, cursor, 0)
+			for i := 0; i < n; i++ {
+				c := plan.ComputeNS[i]
+				st.Span(obsv.SpanCompute, obsv.LaneCompute, i, cursor, c, 0)
+				cursor += c
+			}
+		}
+		return bd
+	}
+	var cursor int64
+	xferNS := func(kind obsv.SpanKind, lane string, block int, bytes int64) int64 {
+		dur := e.CM.BatchedXferTime(bytes)
+		var total int64
+		backoff := e.Cfg.Retry.BackoffNS
+		for attempt := 0; ; attempt++ {
+			f := fs.Transfer()
+			if !f.Abort {
+				d := dur * f.StallFactor
+				st.Span(kind, lane, block, cursor+total, d, bytes)
+				return total + d
+			}
+			st.Retry(lane, block, cursor+total, dur/2, bytes, attempt+1)
+			total += dur / 2
+			if attempt+1 >= e.Cfg.Retry.MaxAttempts {
+				fs.NoteSyncFallback()
+				st.Span(kind, lane, block, cursor+total, dur, bytes)
+				return total + dur
+			}
+			fs.NoteRetry(backoff)
+			total += backoff
+			backoff *= 2
+		}
+	}
+	var peak int64
+	for i := 0; i < n; i++ {
+		fetch := plan.FetchBytes[i]
+		bd.H2DBytes += fetch
+		d := xferNS(obsv.SpanOnDemand, obsv.LaneH2D, i, fetch)
+		bd.ExposedXferNS += d
+		cursor += d
+		if i > 0 {
+			evict := plan.OnDemandEvictBytes[i]
+			bd.D2HBytes += evict
+			d = xferNS(obsv.SpanEvict, obsv.LaneD2H, i-1, evict)
+			bd.ExposedXferNS += d
+			cursor += d
+		}
+		bd.FaultNS += e.Cfg.FaultLatencyNS
+		bd.Faults++
+		st.Span(obsv.SpanFault, obsv.LaneHost, i, cursor, e.Cfg.FaultLatencyNS, 0)
+		cursor += e.Cfg.FaultLatencyNS
+		blockCompute := plan.ComputeNS[i]
+		st.Span(obsv.SpanCompute, obsv.LaneCompute, i, cursor, blockCompute, 0)
+		cursor += blockCompute
+		bd.ComputeNS += blockCompute
+		if w := plan.WorkingBytes[i]; w > peak {
+			peak = w
+		}
+	}
+	bd.PeakGPUBytes = min64(2*peak, e.Cfg.Platform.GPU.MemBytes)
+	return bd
+}

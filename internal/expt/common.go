@@ -132,6 +132,11 @@ type Workbench struct {
 	Opts   Options
 	Models []*ModelBench
 	Pilot  *pilot.Pilot
+	// Plans is the shared resolved-plan cache every engine the workbench
+	// builds attaches to, so ServeSweep/ClusterSweep grid cells (which get
+	// fresh engines — the mis-prediction cache is stateful) still amortize
+	// plan compilation across the whole sweep.
+	Plans *core.PlanCache
 }
 
 // pressurize caps the platform's GPU at a fraction of the model's largest
@@ -201,7 +206,7 @@ func NewModelBench(entry dynn.ZooEntry, opts Options) (*ModelBench, error) {
 // on the training split of every dynamic model (§VI-A: over 24,000 samples
 // from the models in Table II).
 func NewWorkbench(opts Options) (*Workbench, error) {
-	wb := &Workbench{Opts: opts}
+	wb := &Workbench{Opts: opts, Plans: core.NewPlanCache()}
 	for _, entry := range dynn.Zoo() {
 		mb, err := NewModelBench(entry, opts)
 		if err != nil {
@@ -234,6 +239,7 @@ func (wb *Workbench) Bench(name string) *ModelBench {
 // applying the workbench's fault-injection options when enabled.
 func (wb *Workbench) Engine(mb *ModelBench) *core.Engine {
 	cfg := core.DefaultConfig(mb.Platform)
+	cfg.Plans = wb.Plans
 	if wb.Opts.Faults.Rate > 0 {
 		cfg.Faults = faults.New(wb.Opts.Faults)
 	}

@@ -1,0 +1,52 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareBenchGate(t *testing.T) {
+	base := []MicroBenchResult{
+		{Name: "des_iteration", Model: "Tree-LSTM", NsPerOp: 1000},
+		{Name: "graph_resolve", Model: "Tree-LSTM", NsPerOp: 500},
+	}
+
+	// Within the limit (and a speedup) passes, one line per baseline bench.
+	lines, err := CompareBench([]MicroBenchResult{
+		{Name: "des_iteration", Model: "Tree-LSTM", NsPerOp: 1200},
+		{Name: "graph_resolve", Model: "Tree-LSTM", NsPerOp: 100},
+		{Name: "plan_cache_hit", Model: "Tree-LSTM", NsPerOp: 9},
+	}, base, 25)
+	if err != nil {
+		t.Fatalf("within-limit comparison failed: %v", err)
+	}
+	if len(lines) != len(base) {
+		t.Fatalf("want %d report lines, got %d: %v", len(base), len(lines), lines)
+	}
+
+	// Beyond the limit fails and names the offender.
+	_, err = CompareBench([]MicroBenchResult{
+		{Name: "des_iteration", Model: "Tree-LSTM", NsPerOp: 1251},
+		{Name: "graph_resolve", Model: "Tree-LSTM", NsPerOp: 500},
+	}, base, 25)
+	if err == nil || !strings.Contains(err.Error(), "des_iteration/Tree-LSTM") {
+		t.Fatalf("want regression error naming des_iteration, got %v", err)
+	}
+
+	// A baseline benchmark dropped from the suite fails: the gate must not
+	// silently pass because a bench stopped running.
+	_, err = CompareBench([]MicroBenchResult{
+		{Name: "des_iteration", Model: "Tree-LSTM", NsPerOp: 900},
+	}, base, 25)
+	if err == nil || !strings.Contains(err.Error(), "graph_resolve/Tree-LSTM") {
+		t.Fatalf("want missing-benchmark error naming graph_resolve, got %v", err)
+	}
+
+	// The boundary itself (exactly +25%) passes: the gate is strict-greater.
+	if _, err = CompareBench([]MicroBenchResult{
+		{Name: "des_iteration", Model: "Tree-LSTM", NsPerOp: 1250},
+		{Name: "graph_resolve", Model: "Tree-LSTM", NsPerOp: 625},
+	}, base, 25); err != nil {
+		t.Fatalf("boundary comparison failed: %v", err)
+	}
+}

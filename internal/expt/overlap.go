@@ -21,7 +21,7 @@ func NewSingleModelWorkbench(name string, opts Options) (*Workbench, error) {
 		if err != nil {
 			return nil, err
 		}
-		wb := &Workbench{Opts: opts, Models: []*ModelBench{mb}}
+		wb := &Workbench{Opts: opts, Models: []*ModelBench{mb}, Plans: core.NewPlanCache()}
 		wb.Pilot = pilot.New(pilot.Config{Neurons: opts.Neurons, Epochs: opts.Epochs, Seed: opts.Seed})
 		wb.Pilot.Train(mb.Train)
 		return wb, nil

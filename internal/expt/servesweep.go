@@ -203,9 +203,13 @@ func (wb *Workbench) servePoint(mb *ModelBench, pool []*pilot.Example, onDemand 
 // serveEngine builds a fresh engine per sweep cell — the mis-prediction cache
 // is stateful, and cells must not share it. The engine cell memoizes repeated
 // requests (a serving workload re-submits identical jobs); the on-demand
-// baseline ignores predictions entirely, so the memo stays off there.
+// baseline ignores predictions entirely, so the memo stays off there. The
+// resolved-plan cache IS shared across cells: plans are stateless pure
+// functions, so the sweep's bisection replays pay compilation once, not once
+// per grid point.
 func (wb *Workbench) serveEngine(mb *ModelBench, onDemand bool) *core.Engine {
 	cfg := core.DefaultConfig(mb.Platform)
+	cfg.Plans = wb.Plans
 	cfg.ForceOnDemand = onDemand
 	cfg.MemoizeSamples = !onDemand
 	if wb.Opts.Faults.Rate > 0 {

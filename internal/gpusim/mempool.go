@@ -1,36 +1,61 @@
 package gpusim
 
 import (
-	"container/list"
 	"fmt"
+	"sync"
 )
 
 // MemPool is the GPU-resident tensor set with capacity accounting and LRU
 // ordering. Policies use it to decide evictions; it does not move data
 // itself (transfer timing belongs to the policy's stream schedule).
+//
+// The implementation is an arena: entries live in one slice linked into an
+// intrusive doubly-linked LRU list by index, with a freelist for recycled
+// slots. Reset rewinds the arena without releasing its storage, which is what
+// lets the runtime reuse one pool across millions of simulated samples (see
+// AcquireMemPool) instead of allocating list nodes and maps per sample.
 type MemPool struct {
 	Capacity int64
 
-	used     int64
-	peak     int64
-	order    *list.List // LRU: front = oldest
-	elements map[int64]*list.Element
-	pinned   map[int64]bool
+	used    int64
+	peak    int64
+	entries []poolEntry     // arena; linked by index
+	free    []int32         // recycled arena slots
+	head    int32           // LRU front = oldest (-1 when empty)
+	tail    int32           // LRU back = newest (-1 when empty)
+	index   map[int64]int32 // tensor id -> arena slot
+	pinned  map[int64]bool
 }
 
 type poolEntry struct {
-	id    int64
-	bytes int64
+	id         int64
+	bytes      int64
+	prev, next int32
 }
 
 // NewMemPool creates a pool with the given capacity in bytes.
 func NewMemPool(capacity int64) *MemPool {
 	return &MemPool{
 		Capacity: capacity,
-		order:    list.New(),
-		elements: map[int64]*list.Element{},
+		head:     -1,
+		tail:     -1,
+		index:    map[int64]int32{},
 		pinned:   map[int64]bool{},
 	}
+}
+
+// Reset rewinds the pool to empty with a new capacity, keeping the arena and
+// map storage for reuse. Every observable property — residency, usage, peak,
+// pins — returns to the state of a freshly constructed pool.
+func (p *MemPool) Reset(capacity int64) {
+	p.Capacity = capacity
+	p.used = 0
+	p.peak = 0
+	p.entries = p.entries[:0]
+	p.free = p.free[:0]
+	p.head, p.tail = -1, -1
+	clear(p.index)
+	clear(p.pinned)
 }
 
 // Used returns resident bytes.
@@ -44,17 +69,45 @@ func (p *MemPool) Free() int64 { return p.Capacity - p.used }
 
 // Resident reports whether tensor id is on the GPU.
 func (p *MemPool) Resident(id int64) bool {
-	_, ok := p.elements[id]
+	_, ok := p.index[id]
 	return ok
 }
 
 // ResidentBytes returns the size recorded for a resident tensor (0 if not
 // resident).
 func (p *MemPool) ResidentBytes(id int64) int64 {
-	if e, ok := p.elements[id]; ok {
-		return e.Value.(*poolEntry).bytes
+	if slot, ok := p.index[id]; ok {
+		return p.entries[slot].bytes
 	}
 	return 0
+}
+
+// unlink detaches a slot from the LRU list without freeing it.
+func (p *MemPool) unlink(slot int32) {
+	e := &p.entries[slot]
+	if e.prev >= 0 {
+		p.entries[e.prev].next = e.next
+	} else {
+		p.head = e.next
+	}
+	if e.next >= 0 {
+		p.entries[e.next].prev = e.prev
+	} else {
+		p.tail = e.prev
+	}
+	e.prev, e.next = -1, -1
+}
+
+// pushBack appends a slot at the most-recently-used end.
+func (p *MemPool) pushBack(slot int32) {
+	e := &p.entries[slot]
+	e.prev, e.next = p.tail, -1
+	if p.tail >= 0 {
+		p.entries[p.tail].next = slot
+	} else {
+		p.head = slot
+	}
+	p.tail = slot
 }
 
 // Add makes tensor id resident. It returns an error if capacity would be
@@ -67,8 +120,17 @@ func (p *MemPool) Add(id, bytes int64) error {
 	if p.used+bytes > p.Capacity {
 		return fmt.Errorf("gpusim: pool full: need %d, free %d", bytes, p.Free())
 	}
-	e := p.order.PushBack(&poolEntry{id: id, bytes: bytes})
-	p.elements[id] = e
+	var slot int32
+	if n := len(p.free); n > 0 {
+		slot = p.free[n-1]
+		p.free = p.free[:n-1]
+		p.entries[slot] = poolEntry{id: id, bytes: bytes, prev: -1, next: -1}
+	} else {
+		slot = int32(len(p.entries))
+		p.entries = append(p.entries, poolEntry{id: id, bytes: bytes, prev: -1, next: -1})
+	}
+	p.pushBack(slot)
+	p.index[id] = slot
 	p.used += bytes
 	if p.used > p.peak {
 		p.peak = p.used
@@ -78,22 +140,24 @@ func (p *MemPool) Add(id, bytes int64) error {
 
 // Remove evicts tensor id, returning its byte size (0 if absent).
 func (p *MemPool) Remove(id int64) int64 {
-	e, ok := p.elements[id]
+	slot, ok := p.index[id]
 	if !ok {
 		return 0
 	}
-	ent := e.Value.(*poolEntry)
-	p.order.Remove(e)
-	delete(p.elements, id)
+	bytes := p.entries[slot].bytes
+	p.unlink(slot)
+	p.free = append(p.free, slot)
+	delete(p.index, id)
 	delete(p.pinned, id)
-	p.used -= ent.bytes
-	return ent.bytes
+	p.used -= bytes
+	return bytes
 }
 
 // Touch marks tensor id most-recently-used.
 func (p *MemPool) Touch(id int64) {
-	if e, ok := p.elements[id]; ok {
-		p.order.MoveToBack(e)
+	if slot, ok := p.index[id]; ok && slot != p.tail {
+		p.unlink(slot)
+		p.pushBack(slot)
 	}
 }
 
@@ -103,7 +167,7 @@ func (p *MemPool) Pin(id int64)   { p.pinned[id] = true }
 func (p *MemPool) Unpin(id int64) { delete(p.pinned, id) }
 
 // UnpinAll clears all pins.
-func (p *MemPool) UnpinAll() { p.pinned = map[int64]bool{} }
+func (p *MemPool) UnpinAll() { clear(p.pinned) }
 
 // Victims returns LRU-ordered unpinned tensors whose combined size is at
 // least need bytes. It returns what it found even if insufficient; the
@@ -111,8 +175,8 @@ func (p *MemPool) UnpinAll() { p.pinned = map[int64]bool{} }
 func (p *MemPool) Victims(need int64, keep func(id int64) bool) []int64 {
 	var out []int64
 	var got int64
-	for e := p.order.Front(); e != nil && got < need; e = e.Next() {
-		ent := e.Value.(*poolEntry)
+	for slot := p.head; slot >= 0 && got < need; slot = p.entries[slot].next {
+		ent := &p.entries[slot]
 		if p.pinned[ent.id] {
 			continue
 		}
@@ -127,9 +191,33 @@ func (p *MemPool) Victims(need int64, keep func(id int64) bool) []int64 {
 
 // ResidentIDs returns all resident tensor IDs in LRU order.
 func (p *MemPool) ResidentIDs() []int64 {
-	out := make([]int64, 0, len(p.elements))
-	for e := p.order.Front(); e != nil; e = e.Next() {
-		out = append(out, e.Value.(*poolEntry).id)
+	out := make([]int64, 0, len(p.index))
+	for slot := p.head; slot >= 0; slot = p.entries[slot].next {
+		out = append(out, p.entries[slot].id)
 	}
 	return out
+}
+
+// memPools recycles MemPools across simulated samples. The arena and maps
+// keep their storage between uses; Reset restores the observable zero state
+// on every release, so a recycled pool is indistinguishable from a fresh one
+// (pinned by the pool-hygiene tests).
+var memPools = sync.Pool{New: func() any { return NewMemPool(0) }}
+
+// AcquireMemPool returns an empty pool with the given capacity, recycled
+// from the process-wide free list when available.
+func AcquireMemPool(capacity int64) *MemPool {
+	p := memPools.Get().(*MemPool)
+	p.Reset(capacity)
+	return p
+}
+
+// ReleaseMemPool resets p and returns it to the free list. The caller must
+// not retain any reference to the pool or to slices obtained from it.
+func ReleaseMemPool(p *MemPool) {
+	if p == nil {
+		return
+	}
+	p.Reset(0)
+	memPools.Put(p)
 }

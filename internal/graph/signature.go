@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"strconv"
+	"strings"
+)
+
+// This file defines the canonical control-flow signature of a resolved path —
+// the key of the runtime's resolved-plan cache (DyCL-style: dynamic control
+// flow rewritten into enumerable static sub-graphs, each served from one
+// compiled plan). Two resolved graphs get equal signatures exactly when their
+// model and operator sequences are identical, so the signature is strictly
+// more canonical than the decision-vector path key: decision vectors that
+// differ only at unreached sites — or that route through different sites into
+// the same operator sequence — collapse onto one signature and therefore one
+// immutable plan.
+
+// PathSignature canonicalizes a resolved path into a deterministic string.
+// The encoding is injective on (model name, operator sequence): it writes the
+// model name, the operator count, and each operator's identity token
+// (name, FLOPs, and the nine-element idiom/dimension signature), run-length
+// compressed over consecutive repeats so deep stacked models stay compact.
+//
+// Properties the plan-cache and fuzz layers rely on:
+//
+//   - equal signatures ⇒ identical operator sequences ⇒ identical resolved
+//     plans (a plan is a pure function of the operator sequence and the
+//     execution context);
+//   - unequal operator sequences ⇒ unequal signatures (the token stream is a
+//     prefix-free encoding of the sequence: the leading count pins the
+//     sequence length, every token is delimited, and run lengths are
+//     explicit).
+func PathSignature(r *Resolved) string {
+	var sb strings.Builder
+	sb.Grow(64 + 24*len(r.Ops))
+	sb.WriteString(r.ModelName)
+	sb.WriteByte('#')
+	sb.WriteString(strconv.Itoa(len(r.Ops)))
+	prev := ""
+	run := 0
+	flush := func() {
+		if run == 0 {
+			return
+		}
+		sb.WriteByte('|')
+		sb.WriteString(prev)
+		if run > 1 {
+			sb.WriteByte('x')
+			sb.WriteString(strconv.Itoa(run))
+		}
+	}
+	for _, op := range r.Ops {
+		tok := opToken(op)
+		if tok == prev {
+			run++
+			continue
+		}
+		flush()
+		prev, run = tok, 1
+	}
+	flush()
+	return sb.String()
+}
+
+// opToken renders one operator's identity: name, FLOPs, and the idiom
+// signature (which already folds in the input-dimension sums, so shape
+// differences separate signatures without serializing every tensor). Run
+// detection compares these rendered tokens, so two operators collapse into a
+// run exactly when their tokens — and therefore their decoded identities —
+// are equal.
+func opToken(op *Op) string {
+	var sb strings.Builder
+	sb.Grow(24)
+	sb.WriteString(op.Name)
+	sb.WriteByte(':')
+	sb.WriteString(strconv.FormatInt(op.FLOPs, 10))
+	for _, v := range op.Sig {
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return sb.String()
+}
+
+// SignatureHash is a 64-bit FNV-1a fold of a signature string, for callers
+// that need a fixed-width fingerprint (cache shard selection, compact keys).
+func SignatureHash(sig string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(sig); i++ {
+		h ^= uint64(sig[i])
+		h *= prime64
+	}
+	return h
+}

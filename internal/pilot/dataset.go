@@ -43,6 +43,19 @@ type PathInfo struct {
 	Blocks    []sentinel.Block
 	Label     []float64   // MaxBlocks×DescriptorLen, padded
 	Stats     graph.Stats // aggregate over the full iteration
+
+	// Sig is the canonical control-flow signature of the resolved path
+	// (graph.PathSignature): decision vectors routing into the same operator
+	// sequence share one Sig, and with it one resolved plan.
+	Sig string
+	// PlanKey extends Sig with the model-context fingerprint (cost model,
+	// partition budget, block clamp) — everything besides the path itself
+	// that the trace, analysis, and block partition were derived from. Two
+	// PathInfos with equal PlanKeys have numerically identical analyses and
+	// partitions, so they may share a resolved plan across engines and sweep
+	// grid points. Empty on hand-built PathInfos, which then only plan-cache
+	// per engine by pointer identity.
+	PlanKey string
 }
 
 // ModelContext precomputes per-path information for one model. Because the
@@ -94,6 +107,7 @@ func NewModelContext(m dynn.Model, cm gpusim.CostModel, budget int64, maxBlocks 
 			Trace:     tr,
 			Analysis:  an,
 			Stats:     iterStats(tr),
+			Sig:       graph.PathSignature(p.Resolved),
 		}
 		ctx.Paths = append(ctx.Paths, info)
 		ctx.byKey[info.Key] = info
@@ -118,6 +132,7 @@ func NewModelContext(m dynn.Model, cm gpusim.CostModel, budget int64, maxBlocks 
 	}
 
 	// Second pass: partition and label.
+	fp := ctxFingerprint(cm, ctx.Budget, maxBlocks)
 	for _, info := range ctx.Paths {
 		blocks := info.Analysis.Partition(ctx.Budget)
 		if blocks == nil {
@@ -126,8 +141,34 @@ func NewModelContext(m dynn.Model, cm gpusim.CostModel, budget int64, maxBlocks 
 		blocks = clampBlocks(blocks, maxBlocks)
 		info.Blocks = blocks
 		info.Label = labelVector(info.Analysis, blocks, maxBlocks)
+		info.PlanKey = info.Sig + "\x00" + fp
 	}
 	return ctx, nil
+}
+
+// ctxFingerprint renders the context parameters a path's analysis and block
+// partition depend on, so PathInfo.PlanKey separates plans built under
+// different cost models or budgets (see PathInfo.PlanKey).
+func ctxFingerprint(cm gpusim.CostModel, budget int64, maxBlocks int) string {
+	var sb strings.Builder
+	f := func(v float64) {
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	i := func(v int64) {
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatInt(v, 10))
+	}
+	f(cm.Dev.FLOPS)
+	f(cm.Dev.MemBW)
+	f(cm.Dev.ComputeEff)
+	f(cm.Dev.BandwidthEff)
+	i(cm.Dev.LaunchNS)
+	f(cm.Link.BW)
+	i(cm.Link.LatencyNS)
+	i(budget)
+	i(int64(maxBlocks))
+	return sb.String()
 }
 
 // iterStats aggregates the bookkeeping record over a full iteration trace.

@@ -41,6 +41,16 @@ type Analysis struct {
 	lastUse  map[int64]int // op index of last reference
 	producer map[int64]int // op index of first production (-1 if none)
 	timePfx  []int64       // prefix sums of op times
+
+	// id is a process-unique identity for plan-cache keying (see plan.go).
+	id uint64
+	// Iteration-level aggregates are pure functions of the trace; they are
+	// computed once here because the runtime consults them on every sample
+	// (capacity checks, the fits-GPU fast path) and a per-sample liveness
+	// walk would dominate the simulation itself.
+	peakResident int64
+	maxSingleOp  int64
+	totalBytes   int64
 }
 
 // NewAnalysis builds the liveness/timing index for a trace.
@@ -53,6 +63,7 @@ func NewAnalysis(tr *trace.Trace, cm gpusim.CostModel) *Analysis {
 		lastUse:  map[int64]int{},
 		producer: map[int64]int{},
 		timePfx:  make([]int64, len(tr.Records)+1),
+		id:       analysisIDs.Add(1),
 	}
 	for i, r := range tr.Records {
 		a.timePfx[i+1] = a.timePfx[i] + r.TimeNS
@@ -72,8 +83,15 @@ func NewAnalysis(tr *trace.Trace, cm gpusim.CostModel) *Analysis {
 			}
 		}
 	}
+	a.peakResident = a.computePeakResidentBytes()
+	a.maxSingleOp = a.computeMaxSingleOpBytes()
+	a.totalBytes = tr.TotalBytes()
 	return a
 }
+
+// TotalBytes returns the trace's distinct tensor footprint, precomputed at
+// construction (the runtime's capacity check reads it per sample).
+func (a *Analysis) TotalBytes() int64 { return a.totalBytes }
 
 // NumOps returns the trace length.
 func (a *Analysis) NumOps() int { return len(a.Trace.Records) }
@@ -246,8 +264,11 @@ func (a *Analysis) persistentIDs() map[int64]bool {
 // whole iteration on an infinite-capacity device: persistent state (weights,
 // optimizer moments, weight-gradient buffers) is always resident; every
 // other tensor is resident from its first to its last reference. This is the
-// "unmodified PyTorch" footprint a GPU must hold.
-func (a *Analysis) PeakResidentBytes() int64 {
+// "unmodified PyTorch" footprint a GPU must hold. The value is precomputed at
+// construction, so the call is free on the per-sample path.
+func (a *Analysis) PeakResidentBytes() int64 { return a.peakResident }
+
+func (a *Analysis) computePeakResidentBytes() int64 {
 	persistent := a.persistentIDs()
 	var base int64
 	for _, id := range sortedIDs(persistent) {
@@ -282,8 +303,11 @@ func (a *Analysis) PeakResidentBytes() int64 {
 }
 
 // MaxSingleOpBytes returns the largest single-operator working set — the
-// floor below which no double-buffer budget is feasible.
-func (a *Analysis) MaxSingleOpBytes() int64 {
+// floor below which no double-buffer budget is feasible. Precomputed at
+// construction (the runtime checks it per sample).
+func (a *Analysis) MaxSingleOpBytes() int64 { return a.maxSingleOp }
+
+func (a *Analysis) computeMaxSingleOpBytes() int64 {
 	var m int64
 	for i := 0; i < a.NumOps(); i++ {
 		if w := a.WorkingBytes(Block{Start: i, End: i + 1}); w > m {

@@ -210,6 +210,10 @@ type loop struct {
 	acc     []tenantAcc
 	batches int64
 	slots   int // dispatch-order trace/recorder index counter
+	// exs is the dispatch scratch buffer, reused across batches: RunBatch
+	// never retains its argument slice past the call, and a sweep replays
+	// thousands of dispatches, so one buffer serves the whole run.
+	exs []*pilot.Example
 }
 
 // run consumes the sorted arrival stream.
@@ -266,13 +270,13 @@ func (s *loop) dispatch() error {
 		return fmt.Errorf("serve: no request schedulable at t=%dns with %d queued", s.now, len(s.queued))
 	}
 
-	exs := make([]*pilot.Example, len(batch))
-	for i, r := range batch {
-		exs[i] = r.ex
+	s.exs = s.exs[:0]
+	for _, r := range batch {
+		s.exs = append(s.exs, r.ex)
 	}
 	base := s.slots
 	s.slots += len(batch)
-	results, err := s.backend.Engine.RunBatch(exs, core.EpochOptions{
+	results, err := s.backend.Engine.RunBatch(s.exs, core.EpochOptions{
 		Workers:   s.cfg.Workers,
 		Recorder:  s.rec,
 		Tracer:    s.cfg.Tracer,
