@@ -78,10 +78,16 @@ trace:
 
 # Serving smoke at CI scale: a two-tenant dynnserve run over the engine and
 # the on-demand baseline, then the offered-load sweep (max sustainable QPS at
-# the fixed p99 SLO) on one migrating model.
+# the fixed p99 SLO) on one migrating model. The engine run records the
+# flight recorder (flight-serve-*.jsonl) and its report — including the SLO
+# attribution table — lands in serve-attribution.txt for inspection / CI
+# artifact upload.
 serve-smoke:
 	$(GO) run ./cmd/dynnserve -model Tree-LSTM -train 200 -test 40 -epochs 4 \
-		-tenants "alpha:rate=2000,requests=60,slo=50ms,quota=0.5;beta:rate=2000,requests=60,slo=50ms,quota=0.5"
+		-flight flight-serve \
+		-tenants "alpha:rate=2000,requests=60,slo=50ms,quota=0.5;beta:rate=2000,requests=60,slo=50ms,quota=0.5" \
+		> serve-attribution.txt
+	cat serve-attribution.txt
 	$(GO) run ./cmd/dynnserve -model Tree-LSTM -train 200 -test 40 -epochs 4 -ondemand \
 		-tenants "alpha:rate=2000,requests=60,slo=50ms,quota=0.5;beta:rate=2000,requests=60,slo=50ms,quota=0.5"
 	$(GO) run ./cmd/dynnbench -exp servesweep -train 200 -test 40 -epochs 4
@@ -90,11 +96,18 @@ serve-smoke:
 # public facade (cmd/dynnserve -gpus), a data-parallel Fig 10 epoch on the
 # cluster DES runtime, and the capacity sweep (max sustainable QPS vs GPU
 # count at fixed p99 SLO) with its machine-readable curves left behind for
-# inspection / CI artifact upload.
+# inspection / CI artifact upload. The serving run leaves the cluster
+# attribution report (cluster-attribution.txt), per-replica flight-recorder
+# snapshots (flight-cluster-*.jsonl), and a request-stamped trace
+# (cluster-trace.json) rendered through dynntrace's per-request timelines.
 cluster-smoke:
 	$(GO) run ./cmd/dynnserve -model Tree-CNN -batch 12 -gpus 4 -minreplicas 1 \
 		-scaleup 100us -scaledown 5ms -train 200 -test 40 -epochs 4 \
-		-tenants "alpha:rate=2000,requests=60,slo=200ms,quota=0.5;beta:rate=2000,requests=60,slo=200ms,quota=0.5"
+		-flight flight-cluster -trace cluster-trace.json \
+		-tenants "alpha:rate=2000,requests=60,slo=200ms,quota=0.5;beta:rate=2000,requests=60,slo=200ms,quota=0.5" \
+		> cluster-attribution.txt
+	cat cluster-attribution.txt
+	$(GO) run ./cmd/dynntrace -requests 5 cluster-trace.json
 	$(GO) run ./cmd/dynnbench -exp fig10 -train 200 -test 40 -epochs 4
 	$(GO) run ./cmd/dynnbench -exp clustersweep -train 200 -test 40 -epochs 4 \
 		-clusterjson cluster-sweep.json

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -52,6 +53,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "engine fan-out per dispatched batch (0 = GOMAXPROCS)")
 		faultSpec = flag.String("faults", "", "deterministic fault injection, e.g. seed=7,rate=0.05[,stall=4]")
 		traceFile = flag.String("trace", "", "write the serving trace (queue + device spans) as Chrome Trace Event JSON")
+		flight    = flag.String("flight", "", "enable the flight recorder and write each snapshot to PREFIX-r<replica>-<reason>.jsonl")
 		addr      = flag.String("serve", "", "serve live Prometheus metrics and pprof on this address, then block")
 	)
 	flag.Parse()
@@ -59,7 +61,8 @@ func main() {
 		gpus: *gpus, minReplicas: *minRep, scaleUpNS: int64(*scaleUp), scaleDownNS: int64(*scaleDown),
 		maxBatch: *maxBatch, starveNS: int64(*starve), onDemand: *onDemand, pressure: *pressure,
 		train: *train, test: *test, neurons: *neurons, epochs: *epochs, batch: *batch,
-		seed: *seed, workers: *workers, faultSpec: *faultSpec, traceFile: *traceFile, addr: *addr,
+		seed: *seed, workers: *workers, faultSpec: *faultSpec, traceFile: *traceFile,
+		flightPrefix: *flight, addr: *addr,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dynnserve:", err)
 		os.Exit(1)
@@ -79,6 +82,7 @@ type settings struct {
 	workers                int
 	faultSpec              string
 	traceFile              string
+	flightPrefix           string
 	addr                   string
 }
 
@@ -146,6 +150,9 @@ func run(model, tenantSpec string, st settings) error {
 		ScaleUpQueueNS:  st.scaleUpNS,
 		ScaleDownIdleNS: st.scaleDownNS,
 	}
+	if st.flightPrefix != "" {
+		cfg.Flight = dynnoffload.FlightConfig{Events: dynnoffload.DefaultFlightEvents}
+	}
 	var reg *dynnoffload.MetricsRegistry
 	if st.addr != "" {
 		reg = dynnoffload.NewMetricsRegistry()
@@ -161,10 +168,23 @@ func run(model, tenantSpec string, st settings) error {
 
 	rep, err := c.Serve(corpus[st.train:], cfg)
 	if err != nil {
+		// A run that aborted on engine capacity still leaves its flight
+		// recordings — dump them so the post-mortem has something to read.
+		var fe *dynnoffload.ServeFlightError
+		if errors.As(err, &fe) && st.flightPrefix != "" {
+			if werr := writeFlights(st.flightPrefix, fe.Flights); werr != nil {
+				fmt.Fprintln(os.Stderr, "dynnserve: flight dump:", werr)
+			}
+		}
 		return err
 	}
 	report(os.Stdout, model, rep)
 
+	if st.flightPrefix != "" {
+		if err := writeFlights(st.flightPrefix, rep.Flights); err != nil {
+			return err
+		}
+	}
 	if st.traceFile != "" {
 		if err := writeTrace(st.traceFile, model, plat.Link.BW, tracer); err != nil {
 			return err
@@ -299,6 +319,8 @@ func report(out *os.File, model string, rep *dynnoffload.ClusterReport) {
 			float64(rep.DeviceHighWater)/(1<<20)))
 	tab.print(out)
 
+	attributionReport(out, rep)
+
 	rt := &table{
 		title:  "Replicas",
 		header: []string{"replica", "dispatches", "done", "busy-ms", "util", "home-tenants"},
@@ -327,6 +349,73 @@ func report(out *os.File, model string, rep *dynnoffload.ClusterReport) {
 }
 
 func msf(ns int64) string { return fmt.Sprintf("%.2f", float64(ns)/1e6) }
+
+// attributionReport prints the SLO attribution table: each tenant's (and the
+// total's) end-to-end latency decomposed by cause, as percentage shares, with
+// the p99 tail's dominant cause as the headline.
+func attributionReport(out *os.File, rep *dynnoffload.ClusterReport) {
+	if rep.Total.Attribution == nil {
+		return
+	}
+	components := rep.Total.Attribution.All.Named()
+	header := []string{"tenant"}
+	for _, c := range components {
+		header = append(header, c.Name+"-%")
+	}
+	header = append(header, "tail-dominant")
+	at := &table{title: "Latency attribution (share of summed e2e latency; tail = p99 requests)", header: header}
+	row := func(name string, a *dynnoffload.LatencyAttribution) {
+		if a == nil {
+			return
+		}
+		cells := []string{name}
+		total := a.All.TotalNS()
+		for _, c := range a.All.Named() {
+			cells = append(cells, pct(c.NS, total))
+		}
+		dom := a.Tail.Dominant()
+		cells = append(cells, fmt.Sprintf("%s %s%%", dom.Name, pct(dom.NS, a.Tail.TotalNS())))
+		at.rows = append(at.rows, cells)
+	}
+	for _, tr := range rep.Tenants {
+		row(tr.Name, tr.Stats.Attribution)
+	}
+	row("TOTAL", rep.Total.Attribution)
+	tail := rep.Total.Attribution
+	dom := tail.Tail.Dominant()
+	at.notes = append(at.notes, fmt.Sprintf("p99 tail (%d requests) is %s%% %s",
+		tail.TailCount, pct(dom.NS, tail.Tail.TotalNS()), dom.Name))
+	at.print(out)
+}
+
+// pct renders part/total as a percentage with one decimal ("-" when empty).
+func pct(part, total int64) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", 100*float64(part)/float64(total))
+}
+
+// writeFlights writes each flight-recorder snapshot to its own JSONL file,
+// PREFIX-r<replica>-<reason>.jsonl.
+func writeFlights(prefix string, snaps []dynnoffload.FlightSnapshot) error {
+	for _, s := range snaps {
+		path := fmt.Sprintf("%s-r%d-%s.jsonl", prefix, s.Replica, s.Reason)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := s.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote flight recording (%d events, reason %s) to %s\n", len(s.Events), s.Reason, path)
+	}
+	return nil
+}
 
 // writeTrace dumps the serving span set (queue waits plus every replica's
 // device spans on the shared cluster clock) as a Chrome Trace Event file.

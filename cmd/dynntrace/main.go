@@ -7,6 +7,7 @@
 //
 //	dynntrace trace.json             # overlap report + occupancy timeline
 //	dynntrace -blocks trace.json     # also the per-block breakdown
+//	dynntrace -requests 10 trace.json # per-request causal timelines (serving traces)
 //	dynntrace -check trace.json      # validate structure, exit 1 on errors
 package main
 
@@ -14,28 +15,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"dynnoffload/internal/obsv"
 )
 
 func main() {
 	var (
-		check  = flag.Bool("check", false, "validate the trace file structure and exit")
-		width  = flag.Int("width", 72, "ASCII timeline width in cells")
-		blocks = flag.Bool("blocks", false, "print the per-block critical-path breakdown")
+		check    = flag.Bool("check", false, "validate the trace file structure and exit")
+		width    = flag.Int("width", 72, "ASCII timeline width in cells")
+		blocks   = flag.Bool("blocks", false, "print the per-block critical-path breakdown")
+		requests = flag.Int("requests", 0, "print the N slowest per-request causal timelines (request-stamped serving traces)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dynntrace [-check] [-blocks] [-width N] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: dynntrace [-check] [-blocks] [-requests N] [-width N] trace.json")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *check, *blocks, *width); err != nil {
+	if err := run(flag.Arg(0), *check, *blocks, *width, *requests); err != nil {
 		fmt.Fprintln(os.Stderr, "dynntrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, check, blocks bool, width int) error {
+func run(path string, check, blocks bool, width, requests int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -92,7 +95,49 @@ func run(path string, check, blocks bool, width int) error {
 				msf(c.OnDemandNS), msf(c.RetryNS), msf(c.StallNS), c.Spans)
 		}
 	}
+	if requests > 0 {
+		requestReport(spans, requests)
+	}
 	return nil
+}
+
+// requestReport assembles per-request causal timelines from a request-stamped
+// serving trace and prints the N slowest: where each request spent its
+// lifetime (queue wait vs per-lane device/link occupancy).
+func requestReport(spans []obsv.Span, n int) {
+	views := obsv.AssembleRequests(spans)
+	fmt.Println()
+	if len(views) == 0 {
+		fmt.Println("no request-stamped spans (write the trace from a serving run)")
+		return
+	}
+	sort.SliceStable(views, func(i, j int) bool {
+		return views[i].EndNS-views[i].StartNS > views[j].EndNS-views[j].StartNS
+	})
+	if n > len(views) {
+		n = len(views)
+	}
+	fmt.Printf("slowest %d of %d requests (e2e = arrival to completion, simulated)\n", n, len(views))
+	fmt.Println("request  tenant      replica   e2e-ms  queue-ms  lane occupancy (busy-ms)")
+	for _, v := range views[:n] {
+		lanes := make([]string, 0, len(v.LaneBusyNS))
+		for lane := range v.LaneBusyNS {
+			lanes = append(lanes, lane)
+		}
+		sort.Strings(lanes)
+		occ := ""
+		for _, lane := range lanes {
+			if lane == obsv.LaneHost {
+				continue // host lane is queue wait + envelopes, reported separately
+			}
+			if occ != "" {
+				occ += "  "
+			}
+			occ += fmt.Sprintf("%s=%.3f", lane, msf(v.LaneBusyNS[lane]))
+		}
+		fmt.Printf("%7d  %-10s  %7d  %7.3f  %8.3f  %s\n",
+			v.Request, v.Tenant, v.Replica, msf(v.EndNS-v.StartNS), msf(v.QueueNS), occ)
+	}
 }
 
 func msf(ns int64) float64 { return float64(ns) / 1e6 }

@@ -240,8 +240,11 @@ func (l *planL1[K]) insert(k K, plan *ResolvedPlan) *ResolvedPlan {
 // PlanCacheKey is the shared-cache (L2) key an engine with the given GPU
 // capacity files info's resolved plan under, or "" when info carries no
 // PlanKey (hand-built PathInfos, which cache per engine by pointer identity
-// only). Exported so benchmarks and tools can probe or warm a PlanCache with
-// the exact keys engines use.
+// only). PathInfo.PlanKey is already a fixed-width 128-bit digest of the
+// signature and context fingerprint, so the composed key stays ~50 bytes
+// regardless of model depth — every L2 probe compares a short constant-size
+// string instead of walking the full path signature. Exported so benchmarks
+// and tools can probe or warm a PlanCache with the exact keys engines use.
 func PlanCacheKey(info *pilot.PathInfo, capacityBytes int64) string {
 	if info.PlanKey == "" {
 		return ""

@@ -120,6 +120,12 @@ type EpochReport struct {
 	Links []gpusim.LinkStats
 	// ThroughputPerSec is samples per simulated second across the cluster.
 	ThroughputPerSec float64
+	// Attribution decomposes the cluster's busy time into the serving
+	// taxonomy's causes: per-sample device components summed over every GPU
+	// (compute, exposed transfer, remat, fault) plus the epoch's exposed
+	// all-reduce interference. This is the cluster-busy decomposition, not a
+	// makespan decomposition — GPUs overlap on the shared clock.
+	Attribution obsv.AttributionComponents
 }
 
 // TrainEpoch shards examples round-robin across the GPUs and runs the epoch
@@ -170,13 +176,16 @@ func (c *Cluster) TrainEpoch(examples []*pilot.Example) (*EpochReport, error) {
 			// later by the queuing delay.
 			xferNS := r.Breakdown.ExposedXferNS + r.Breakdown.OverlapXferNS
 			xferBytes := r.Breakdown.H2DBytes + r.Breakdown.D2HBytes
+			// Tag the sample's trace with the GPU that executed it, so
+			// overlapping per-GPU work stays attributable on the shared
+			// cluster clock (nil-safe with tracing off).
+			st := c.cfg.Tracer.At(idx)
+			st.SetReplica(k)
 			if xferNS > 0 {
 				host := c.ic.HostLink(k)
 				start, _ := host.Book(clock[k], xferNS, xferBytes)
 				rdy += start - clock[k]
-				if st := c.cfg.Tracer.At(idx); st != nil {
-					st.Span(obsv.SpanOffload, host.Name, -1, start-clock[k], xferNS, xferBytes)
-				}
+				st.Span(obsv.SpanOffload, host.Name, -1, start-clock[k], xferNS, xferBytes)
 			}
 			ready[k] = rdy
 		}
@@ -206,6 +215,14 @@ func (c *Cluster) TrainEpoch(examples []*pilot.Example) (*EpochReport, error) {
 	}
 	if rep.MakespanNS > 0 {
 		rep.ThroughputPerSec = float64(rep.Report.Samples) / (float64(rep.MakespanNS) / 1e9)
+	}
+	bd := rep.Report.Breakdown
+	rep.Attribution = obsv.AttributionComponents{
+		ComputeNS:   bd.ComputeNS,
+		ExposedNS:   bd.ExposedXferNS,
+		RematNS:     bd.RematNS,
+		FaultNS:     bd.FaultNS,
+		AllReduceNS: rep.AllReduceNS,
 	}
 	return rep, nil
 }

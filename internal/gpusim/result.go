@@ -27,6 +27,14 @@ func (b Breakdown) TotalNS() int64 {
 	return b.ComputeNS + b.ExposedXferNS + b.RematNS + b.FaultNS + b.OverheadNS
 }
 
+// DeviceNS is the simulated device-clock duration: the total minus host-side
+// policy overhead. This is the portion of a sample's cost that advances the
+// virtual clock in the serving and cluster runtimes, and the base the SLO
+// attribution decomposes (compute + exposed + remat + fault).
+func (b Breakdown) DeviceNS() int64 {
+	return b.ComputeNS + b.ExposedXferNS + b.RematNS + b.FaultNS
+}
+
 // TransferNS is the total migration time, hidden and exposed.
 func (b Breakdown) TransferNS() int64 {
 	return b.OverlapXferNS + b.ExposedXferNS

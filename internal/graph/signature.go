@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math/bits"
 	"strconv"
 	"strings"
 )
@@ -94,4 +95,40 @@ func SignatureHash(sig string) uint64 {
 		h *= prime64
 	}
 	return h
+}
+
+// SignatureHash128 folds one or more strings into a 128-bit FNV-1a
+// fingerprint (hi, lo). The plan-cache key layer uses it to replace the full
+// signature+fingerprint string — whose comparison walked hundreds of bytes on
+// every L2 hit — with a fixed 16-byte digest. Each part is terminated by a
+// delimiter byte folded into the state, so ("ab","c") and ("a","bc") hash
+// differently: the encoding stays prefix-free across parts.
+//
+// 128 bits keeps accidental collisions out of reach for any real path
+// population (millions of distinct signatures sit at ~2^-80 collision odds),
+// which is what lets the resolved-plan cache key drop the injective string.
+func SignatureHash128(parts ...string) (hi, lo uint64) {
+	// FNV-1a 128-bit offset basis and prime (2^88 + 2^8 + 0x3b), computed on
+	// a 128-bit state carried as two 64-bit limbs.
+	const (
+		offsetHi = 0x6C62272E07BB0142
+		offsetLo = 0x62B821756295C58D
+		primeHi  = 1 << 24 // prime = primeHi<<64 + primeLo
+		primeLo  = 0x13B
+	)
+	hi, lo = offsetHi, offsetLo
+	mix := func(b byte) {
+		lo ^= uint64(b)
+		// (hi,lo) *= prime, mod 2^128.
+		carryHi, newLo := bits.Mul64(lo, primeLo)
+		newHi := carryHi + hi*primeLo + lo*primeHi
+		hi, lo = newHi, newLo
+	}
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			mix(p[i])
+		}
+		mix(0x1E) // record separator: delimits parts prefix-free
+	}
+	return hi, lo
 }

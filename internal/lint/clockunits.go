@@ -62,9 +62,11 @@ var methodUnits = map[string]map[string]map[string]unit{
 			"HighWater": unitBytes, "OwnerUsed": unitBytes, "OwnerHighWater": unitBytes,
 			"Quota": unitBytes,
 		},
+		"Breakdown": {"DeviceNS": unitSimNS},
 	},
 	obsvPath: {
-		"Stopwatch": {"ElapsedNS": unitWallNS},
+		"Stopwatch":             {"ElapsedNS": unitWallNS},
+		"AttributionComponents": {"TotalNS": unitSimNS},
 	},
 }
 
@@ -83,6 +85,15 @@ var fieldUnits = map[string]map[string]map[string]unit{
 	},
 	obsvPath: {
 		"Span": {"StartNS": unitSimNS, "DurNS": unitSimNS, "WallNS": unitWallNS},
+		"AttributionComponents": {
+			"QueueNS": unitSimNS, "QuotaNS": unitSimNS, "PilotNS": unitSimNS,
+			"ComputeNS": unitSimNS, "ExposedNS": unitSimNS, "RematNS": unitSimNS,
+			"FaultNS": unitSimNS, "AllReduceNS": unitSimNS, "BatchNS": unitSimNS,
+		},
+		"AttributionComponent": {"NS": unitSimNS},
+		"FlightEvent":          {"AtNS": unitSimNS, "DurNS": unitSimNS, "Bytes": unitBytes},
+		"FlightSnapshot":       {"AtNS": unitSimNS},
+		"RequestView":          {"StartNS": unitSimNS, "EndNS": unitSimNS, "QueueNS": unitSimNS},
 	},
 }
 

@@ -19,6 +19,7 @@ var DeterministicPackages = []string{
 	"dynnoffload/internal/pilot",
 	"dynnoffload/internal/serve",
 	"dynnoffload/internal/distributed",
+	"dynnoffload/internal/obsv",
 }
 
 func inDeterministicScope(path string) bool {

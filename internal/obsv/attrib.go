@@ -1,0 +1,108 @@
+package obsv
+
+// SLO attribution decomposes a served request's end-to-end simulated latency
+// into named causes, so a missed p99 has an explanation ("61% exposed
+// transfer") instead of a number. The decomposition is exact by construction:
+// TotalNS() of the components equals the request's end-to-end latency to the
+// nanosecond, and every component is derived from the simulated clock only —
+// attribution replays bit-identically with the rest of the serving report.
+
+// AttributionComponents is one request's (or one aggregate's) latency split.
+// All fields are simulated nanoseconds. BatchNS is the continuous-batching
+// residual — what sharing a dispatch with other requests cost (straggler
+// alignment) or saved (kernel fusion; then it is negative) relative to the
+// request's own device time — and is the only component that may be negative.
+type AttributionComponents struct {
+	// QueueNS is time spent admitted but not dispatched, excluding quota waits.
+	QueueNS int64 `json:"queue_ns"`
+	// QuotaNS is time the request was runnable but blocked from batch
+	// formation because its tenant's memory reservation was refused, measured
+	// from the first refused reservation to dispatch.
+	QuotaNS int64 `json:"quota_ns"`
+	// PilotNS is pilot inference plus output→path resolution on the simulated
+	// clock. The runtime keeps host-side pilot time off the virtual clock
+	// (see serve.serviceTime), so this is zero under the default accounting
+	// and exists to keep the taxonomy closed under future on-clock pilots.
+	PilotNS int64 `json:"pilot_ns"`
+	// ComputeNS is the request's own kernel time.
+	ComputeNS int64 `json:"compute_ns"`
+	// ExposedNS is transfer stall time the prefetcher failed to hide.
+	ExposedNS int64 `json:"exposed_ns"`
+	// RematNS is rematerialization time.
+	RematNS int64 `json:"remat_ns"`
+	// FaultNS is fault-handling and retry-ladder time.
+	FaultNS int64 `json:"fault_ns"`
+	// AllReduceNS is exposed all-reduce interference (training-side runs;
+	// zero for served requests, which do not synchronize gradients).
+	AllReduceNS int64 `json:"allreduce_ns"`
+	// BatchNS is the batching residual described above; may be negative.
+	BatchNS int64 `json:"batch_ns"`
+}
+
+// TotalNS sums the components — by construction, the end-to-end simulated
+// latency the decomposition explains.
+func (a AttributionComponents) TotalNS() int64 {
+	return a.QueueNS + a.QuotaNS + a.PilotNS + a.ComputeNS + a.ExposedNS +
+		a.RematNS + a.FaultNS + a.AllReduceNS + a.BatchNS
+}
+
+// Add accumulates another decomposition (per-request into per-tenant).
+func (a *AttributionComponents) Add(o AttributionComponents) {
+	a.QueueNS += o.QueueNS
+	a.QuotaNS += o.QuotaNS
+	a.PilotNS += o.PilotNS
+	a.ComputeNS += o.ComputeNS
+	a.ExposedNS += o.ExposedNS
+	a.RematNS += o.RematNS
+	a.FaultNS += o.FaultNS
+	a.AllReduceNS += o.AllReduceNS
+	a.BatchNS += o.BatchNS
+}
+
+// AttributionComponent is one named share of a decomposition.
+type AttributionComponent struct {
+	Name string
+	NS   int64
+}
+
+// Named returns the components in fixed taxonomy order, for reports and
+// Prometheus families (no map iteration — output order is deterministic).
+func (a AttributionComponents) Named() []AttributionComponent {
+	return []AttributionComponent{
+		{"queue", a.QueueNS},
+		{"quota", a.QuotaNS},
+		{"pilot", a.PilotNS},
+		{"compute", a.ComputeNS},
+		{"exposed", a.ExposedNS},
+		{"remat", a.RematNS},
+		{"fault", a.FaultNS},
+		{"allreduce", a.AllReduceNS},
+		{"batch", a.BatchNS},
+	}
+}
+
+// Dominant returns the largest component (first wins ties, in taxonomy
+// order) — the headline of an attribution report.
+func (a AttributionComponents) Dominant() AttributionComponent {
+	named := a.Named()
+	top := named[0]
+	for _, c := range named[1:] {
+		if c.NS > top.NS {
+			top = c
+		}
+	}
+	return top
+}
+
+// LatencyAttribution aggregates per-request decompositions for one tenant (or
+// the whole run): every completed request, and the p99 tail on its own, so
+// "what is the tail made of" is answered directly.
+type LatencyAttribution struct {
+	// All sums every completed request; All.TotalNS() is the exact sum of
+	// their end-to-end latencies.
+	All AttributionComponents `json:"all"`
+	// Tail sums the requests whose latency reached the aggregate's exact p99;
+	// TailCount is how many that is.
+	Tail      AttributionComponents `json:"tail"`
+	TailCount int64                 `json:"tail_count"`
+}

@@ -1,0 +1,68 @@
+package obsv
+
+import "testing"
+
+// TestAttributionSumInvariant: TotalNS is the exact sum of the components —
+// the property that makes the decomposition an explanation of the end-to-end
+// latency rather than an approximation of it.
+func TestAttributionSumInvariant(t *testing.T) {
+	a := AttributionComponents{
+		QueueNS: 7, QuotaNS: 11, PilotNS: 13, ComputeNS: 17, ExposedNS: 19,
+		RematNS: 23, FaultNS: 29, AllReduceNS: 31, BatchNS: -5,
+	}
+	want := int64(7 + 11 + 13 + 17 + 19 + 23 + 29 + 31 - 5)
+	if got := a.TotalNS(); got != want {
+		t.Errorf("TotalNS() = %d, want %d", got, want)
+	}
+
+	// Named must cover every component exactly once: its sum equals TotalNS.
+	named := a.Named()
+	var sum int64
+	seen := map[string]bool{}
+	for _, c := range named {
+		sum += c.NS
+		if seen[c.Name] {
+			t.Errorf("Named() repeats component %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if sum != a.TotalNS() {
+		t.Errorf("sum of Named() = %d, TotalNS() = %d", sum, a.TotalNS())
+	}
+	wantOrder := []string{"queue", "quota", "pilot", "compute", "exposed", "remat", "fault", "allreduce", "batch"}
+	if len(named) != len(wantOrder) {
+		t.Fatalf("Named() has %d components, want %d", len(named), len(wantOrder))
+	}
+	for i, c := range named {
+		if c.Name != wantOrder[i] {
+			t.Errorf("Named()[%d] = %q, want %q", i, c.Name, wantOrder[i])
+		}
+	}
+}
+
+// TestAttributionAddPreservesSum: accumulation (per-request into per-tenant)
+// is component-wise, so the sum invariant survives aggregation.
+func TestAttributionAddPreservesSum(t *testing.T) {
+	a := AttributionComponents{QueueNS: 3, ComputeNS: 9, BatchNS: -1}
+	b := AttributionComponents{QuotaNS: 5, ExposedNS: 21, FaultNS: 2, BatchNS: 4}
+	wantTotal := a.TotalNS() + b.TotalNS()
+	a.Add(b)
+	if a.TotalNS() != wantTotal {
+		t.Errorf("Add broke the sum: got %d, want %d", a.TotalNS(), wantTotal)
+	}
+	if a.QuotaNS != 5 || a.BatchNS != 3 || a.QueueNS != 3 {
+		t.Errorf("Add mis-accumulated: %+v", a)
+	}
+}
+
+func TestAttributionDominant(t *testing.T) {
+	a := AttributionComponents{QueueNS: 10, ExposedNS: 40, ComputeNS: 40}
+	// Ties resolve in taxonomy order: compute precedes exposed.
+	if d := a.Dominant(); d.Name != "compute" || d.NS != 40 {
+		t.Errorf("Dominant() = %+v, want compute/40", d)
+	}
+	a.ExposedNS = 41
+	if d := a.Dominant(); d.Name != "exposed" || d.NS != 41 {
+		t.Errorf("Dominant() = %+v, want exposed/41", d)
+	}
+}

@@ -15,15 +15,15 @@ type Stopwatch struct {
 
 // StartTimer starts a stopwatch.
 func StartTimer() Stopwatch {
-	return Stopwatch{t0: time.Now()}
+	return Stopwatch{t0: time.Now()} //dynnlint:ignore determinism wall-clock stopwatch is the observability-only clock by contract
 }
 
 // ElapsedNS returns nanoseconds since the stopwatch started.
 func (s Stopwatch) ElapsedNS() int64 {
-	return time.Since(s.t0).Nanoseconds()
+	return time.Since(s.t0).Nanoseconds() //dynnlint:ignore determinism wall-clock stopwatch is the observability-only clock by contract
 }
 
 // Elapsed returns the duration since the stopwatch started.
 func (s Stopwatch) Elapsed() time.Duration {
-	return time.Since(s.t0)
+	return time.Since(s.t0) //dynnlint:ignore determinism wall-clock stopwatch is the observability-only clock by contract
 }

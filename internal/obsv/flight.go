@@ -1,0 +1,223 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// The flight recorder answers "what led up to this?" without always-on full
+// tracing: each replica keeps a bounded ring of recent request-lifecycle
+// events, written with zero allocation from the serving event loop, and the
+// ring is snapshotted when something worth a post-mortem happens (an SLO
+// breach, a fault-ladder degradation, an engine capacity error). Every field
+// is derived from the simulated clock and seeded configuration, so snapshots
+// replay bit-identically with the rest of the run.
+
+// Flight-recorder defaults applied when FlightConfig fields are zero.
+const (
+	// DefaultFlightEvents is the ring capacity per replica.
+	DefaultFlightEvents = 256
+	// DefaultFlightSnapshots bounds triggered snapshots per replica.
+	DefaultFlightSnapshots = 4
+)
+
+// Flight event kinds recorded by the serving layer.
+const (
+	FlightAdmit        = "admit"
+	FlightShed         = "shed"
+	FlightQuotaShed    = "quota-shed"
+	FlightDispatch     = "dispatch"
+	FlightComplete     = "complete"
+	FlightSLOBreach    = "slo-breach"
+	FlightFaultDegrade = "fault-degrade"
+	FlightCapacity     = "capacity"
+	FlightScaleUp      = "scale-up"
+	FlightScaleDown    = "scale-down"
+)
+
+// FlightConfig sizes the per-replica flight recorder. Events > 0 enables
+// recording; the zero value disables it entirely.
+type FlightConfig struct {
+	// Events is the ring capacity (recent events kept); <= 0 with recording
+	// enabled means DefaultFlightEvents.
+	Events int
+	// MaxSnapshots bounds triggered snapshots per replica; <= 0 means
+	// DefaultFlightSnapshots. The first trigger of each reason always fits.
+	MaxSnapshots int
+}
+
+// FlightEvent is one lifecycle event. All times are simulated nanoseconds.
+type FlightEvent struct {
+	AtNS int64  `json:"at_ns"`
+	Kind string `json:"kind"`
+	// Request identity; zero values when the event is not request-scoped
+	// (dispatch, scale transitions).
+	Tenant  string `json:"tenant,omitempty"`
+	Request int64  `json:"request,omitempty"`
+	Seq     int    `json:"seq,omitempty"`
+	// Replica the event happened on.
+	Replica int `json:"replica,omitempty"`
+	// N is an event-specific count (batch size on dispatch, active replicas
+	// on scale transitions, injected fault count on fault-degrade).
+	N int `json:"n,omitempty"`
+	// DurNS is an event-specific duration: end-to-end latency on complete,
+	// deadline overshoot on slo-breach, batch service time on dispatch.
+	DurNS int64 `json:"dur_ns,omitempty"`
+	// Bytes is the request's reserved memory need, when known.
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// FlightSnapshot is the ring's content at a trigger, oldest event first.
+type FlightSnapshot struct {
+	AtNS    int64  `json:"at_ns"`
+	Replica int    `json:"replica"`
+	Reason  string `json:"reason"`
+	// Dropped counts events lost to ring wrap-around before this snapshot.
+	Dropped int64         `json:"dropped"`
+	Events  []FlightEvent `json:"events"`
+}
+
+// WriteJSONL writes the snapshot as JSON Lines: one header object (at_ns,
+// replica, reason, dropped), then one line per event, oldest first.
+func (s FlightSnapshot) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	header := struct {
+		AtNS    int64  `json:"at_ns"`
+		Replica int    `json:"replica"`
+		Reason  string `json:"reason"`
+		Dropped int64  `json:"dropped"`
+		Events  int    `json:"events"`
+	}{s.AtNS, s.Replica, s.Reason, s.Dropped, len(s.Events)}
+	if err := enc.Encode(header); err != nil {
+		return err
+	}
+	for _, ev := range s.Events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlightRecorder is one replica's bounded event ring. It is written by the
+// (serial) serving event loop; Record never allocates after construction.
+// All methods are nil-safe no-ops, the same discipline as SampleTrace.
+type FlightRecorder struct {
+	replica  int
+	ring     []FlightEvent
+	next     int   // ring write cursor
+	total    int64 // events ever recorded
+	maxSnaps int
+	taken    map[string]bool // reasons already snapshotted
+	snaps    []FlightSnapshot
+}
+
+// NewFlightRecorder builds a recorder for one replica under cfg; nil when the
+// config leaves recording disabled.
+func NewFlightRecorder(replica int, cfg FlightConfig) *FlightRecorder {
+	if cfg.Events <= 0 {
+		return nil
+	}
+	events := cfg.Events
+	maxSnaps := cfg.MaxSnapshots
+	if maxSnaps <= 0 {
+		maxSnaps = DefaultFlightSnapshots
+	}
+	return &FlightRecorder{
+		replica:  replica,
+		ring:     make([]FlightEvent, events),
+		maxSnaps: maxSnaps,
+		taken:    make(map[string]bool, 4),
+	}
+}
+
+// Record appends one event, overwriting the oldest when the ring is full.
+// The event's Replica field is stamped from the recorder.
+func (f *FlightRecorder) Record(ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	ev.Replica = f.replica
+	f.ring[f.next] = ev
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+	}
+	f.total++
+}
+
+// Len reports how many events the ring currently holds.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	if f.total < int64(len(f.ring)) {
+		return int(f.total)
+	}
+	return len(f.ring)
+}
+
+// Dropped counts events lost to wrap-around.
+func (f *FlightRecorder) Dropped() int64 {
+	if f == nil {
+		return 0
+	}
+	if d := f.total - int64(len(f.ring)); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Events returns the ring's current content, oldest first (a copy).
+func (f *FlightRecorder) Events() []FlightEvent {
+	n := f.Len()
+	if n == 0 {
+		return nil
+	}
+	out := make([]FlightEvent, 0, n)
+	start := 0
+	if f.total > int64(len(f.ring)) {
+		start = f.next // oldest surviving event
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, f.ring[(start+i)%len(f.ring)])
+	}
+	return out
+}
+
+// Snapshot captures the ring under a trigger reason. Each reason is captured
+// at most once per replica (the post-mortem wants the first occurrence, not
+// hundreds of near-identical copies), and triggered snapshots are bounded by
+// MaxSnapshots. Reports whether a snapshot was taken.
+func (f *FlightRecorder) Snapshot(atNS int64, reason string) bool {
+	if f == nil || f.taken[reason] || len(f.snaps) >= f.maxSnaps {
+		return false
+	}
+	f.taken[reason] = true
+	f.snaps = append(f.snaps, FlightSnapshot{
+		AtNS: atNS, Replica: f.replica, Reason: reason,
+		Dropped: f.Dropped(), Events: f.Events(),
+	})
+	return true
+}
+
+// FinalSnapshot captures the ring unconditionally at end of run (reason
+// "final"), outside the trigger budget, so a completed run always leaves one
+// inspectable recording per replica.
+func (f *FlightRecorder) FinalSnapshot(atNS int64) {
+	if f == nil {
+		return
+	}
+	f.snaps = append(f.snaps, FlightSnapshot{
+		AtNS: atNS, Replica: f.replica, Reason: "final",
+		Dropped: f.Dropped(), Events: f.Events(),
+	})
+}
+
+// Snapshots returns the captured snapshots in trigger order.
+func (f *FlightRecorder) Snapshots() []FlightSnapshot {
+	if f == nil {
+		return nil
+	}
+	return f.snaps
+}

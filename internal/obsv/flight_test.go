@@ -1,0 +1,110 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderDisabled(t *testing.T) {
+	if f := NewFlightRecorder(0, FlightConfig{}); f != nil {
+		t.Fatal("zero config should disable the recorder")
+	}
+	// Nil-safety: every method is a no-op on a nil recorder.
+	var f *FlightRecorder
+	f.Record(FlightEvent{Kind: FlightAdmit})
+	f.FinalSnapshot(1)
+	if f.Len() != 0 || f.Dropped() != 0 || f.Events() != nil || f.Snapshots() != nil || f.Snapshot(1, "x") {
+		t.Error("nil recorder is not a no-op")
+	}
+}
+
+// TestFlightRecorderRingWrap: the ring keeps the most recent Events entries,
+// oldest first, and counts what wrap-around dropped.
+func TestFlightRecorderRingWrap(t *testing.T) {
+	f := NewFlightRecorder(2, FlightConfig{Events: 4})
+	for i := 1; i <= 7; i++ {
+		f.Record(FlightEvent{AtNS: int64(i), Kind: FlightAdmit})
+	}
+	if f.Len() != 4 {
+		t.Errorf("Len() = %d, want 4", f.Len())
+	}
+	if f.Dropped() != 3 {
+		t.Errorf("Dropped() = %d, want 3", f.Dropped())
+	}
+	evs := f.Events()
+	for i, want := range []int64{4, 5, 6, 7} {
+		if evs[i].AtNS != want {
+			t.Errorf("Events()[%d].AtNS = %d, want %d", i, evs[i].AtNS, want)
+		}
+		if evs[i].Replica != 2 {
+			t.Errorf("Events()[%d].Replica = %d, want 2 (stamped by Record)", i, evs[i].Replica)
+		}
+	}
+}
+
+// TestFlightRecorderRecordAllocationFree: Record is on the serving event
+// loop's hot path and must not allocate after construction.
+func TestFlightRecorderRecordAllocationFree(t *testing.T) {
+	f := NewFlightRecorder(0, FlightConfig{Events: 64})
+	ev := FlightEvent{Kind: FlightComplete, Tenant: "alpha", Request: 9, DurNS: 100}
+	if allocs := testing.AllocsPerRun(200, func() { f.Record(ev) }); allocs != 0 {
+		t.Errorf("Record allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestFlightRecorderSnapshots: one snapshot per reason, bounded by
+// MaxSnapshots; FinalSnapshot lands outside the budget.
+func TestFlightRecorderSnapshots(t *testing.T) {
+	f := NewFlightRecorder(1, FlightConfig{Events: 8, MaxSnapshots: 2})
+	f.Record(FlightEvent{AtNS: 1, Kind: FlightAdmit})
+	if !f.Snapshot(10, FlightSLOBreach) {
+		t.Fatal("first snapshot refused")
+	}
+	if f.Snapshot(11, FlightSLOBreach) {
+		t.Error("duplicate reason should not snapshot again")
+	}
+	if !f.Snapshot(12, FlightFaultDegrade) {
+		t.Error("second distinct reason refused under budget 2")
+	}
+	if f.Snapshot(13, FlightCapacity) {
+		t.Error("third snapshot should exceed MaxSnapshots=2")
+	}
+	f.FinalSnapshot(99)
+	snaps := f.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3 (2 triggered + final)", len(snaps))
+	}
+	if snaps[0].Reason != FlightSLOBreach || snaps[1].Reason != FlightFaultDegrade || snaps[2].Reason != "final" {
+		t.Errorf("snapshot reasons = %q, %q, %q", snaps[0].Reason, snaps[1].Reason, snaps[2].Reason)
+	}
+	if snaps[2].AtNS != 99 || snaps[2].Replica != 1 {
+		t.Errorf("final snapshot header %+v", snaps[2])
+	}
+	if len(snaps[0].Events) != 1 || snaps[0].Events[0].AtNS != 1 {
+		t.Errorf("snapshot did not capture the ring: %+v", snaps[0].Events)
+	}
+}
+
+func TestFlightSnapshotWriteJSONL(t *testing.T) {
+	f := NewFlightRecorder(3, FlightConfig{Events: 4})
+	f.Record(FlightEvent{AtNS: 5, Kind: FlightAdmit, Tenant: "a&b", Request: 1, Bytes: 64})
+	f.Record(FlightEvent{AtNS: 9, Kind: FlightComplete, Tenant: "a&b", Request: 1, DurNS: 4})
+	f.Snapshot(9, FlightSLOBreach)
+	var sb strings.Builder
+	if err := f.Snapshots()[0].WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d JSONL lines, want header + 2 events:\n%s", len(lines), sb.String())
+	}
+	if !strings.Contains(lines[0], `"reason":"slo-breach"`) || !strings.Contains(lines[0], `"events":2`) {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"kind":"admit"`) || !strings.Contains(lines[1], `"replica":3`) {
+		t.Errorf("event line %q", lines[1])
+	}
+	if !strings.Contains(lines[2], `"dur_ns":4`) {
+		t.Errorf("event line %q", lines[2])
+	}
+}

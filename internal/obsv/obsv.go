@@ -184,7 +184,7 @@ type Recorder struct {
 
 // NewRecorder starts a recorder for a run. sink may be nil (counters only).
 func NewRecorder(label string, workers int, sink Sink) *Recorder {
-	r := &Recorder{label: label, workers: workers, start: time.Now(), sink: sink}
+	r := &Recorder{label: label, workers: workers, start: time.Now(), sink: sink} //dynnlint:ignore determinism recorder wall time feeds reports only, never simulated state
 	r.emit(Event{Type: EventRunStart, Label: label, Workers: workers})
 	return r
 }
@@ -247,7 +247,7 @@ func (r *Recorder) Snapshot() RunStats {
 	s := RunStats{
 		Label:       r.label,
 		Workers:     r.workers,
-		WallNS:      time.Since(r.start).Nanoseconds(),
+		WallNS:      time.Since(r.start).Nanoseconds(), //dynnlint:ignore determinism recorder wall time feeds reports only, never simulated state
 		Samples:     r.samples.Load(),
 		Mispredicts: r.mispredicts.Load(),
 		CacheHits:   r.cacheHits.Load(),
@@ -327,6 +327,6 @@ func (r *Recorder) emit(ev Event) {
 	if r.sink == nil {
 		return
 	}
-	ev.TimeNS = time.Since(r.start).Nanoseconds()
+	ev.TimeNS = time.Since(r.start).Nanoseconds() //dynnlint:ignore determinism recorder wall time feeds reports only, never simulated state
 	r.sink.Emit(ev)
 }

@@ -1,0 +1,79 @@
+package obsv
+
+import "sort"
+
+// Request timeline assembly: given a span set where the serving layer stamped
+// request identities (SampleTrace.SetRequest/SetReplica), group the spans back
+// into one cluster-wide causal timeline per request with per-lane occupancy.
+// The input spans are deterministic, grouping is by stable sort, and lane
+// totals are plain sums — the assembled views replay bit-identically with the
+// trace itself, at any worker count.
+
+// RequestView is one served request's cluster-wide timeline.
+type RequestView struct {
+	// Request is the run-unique request id; Tenant and Replica identify where
+	// it ran.
+	Request int64  `json:"request"`
+	Tenant  string `json:"tenant,omitempty"`
+	Replica int    `json:"replica,omitempty"`
+	// StartNS..EndNS bracket every span of the request on the trace's clock
+	// (arrival through completion when queue spans are present).
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// QueueNS sums the request's queue-wait spans.
+	QueueNS int64 `json:"queue_ns,omitempty"`
+	// LaneBusyNS sums span durations per lane (compute, h2d, d2h, host,
+	// link/...), the request's occupancy footprint across the cluster.
+	LaneBusyNS map[string]int64 `json:"lane_busy_ns,omitempty"`
+	// Spans are the request's own spans in canonical order.
+	Spans []Span `json:"spans,omitempty"`
+}
+
+// AssembleRequests groups request-stamped spans into per-request timelines,
+// ordered by request id. Spans with no request identity (training traces,
+// unstamped envelopes) are skipped.
+func AssembleRequests(spans []Span) []RequestView {
+	byReq := map[int64][]Span{}
+	for _, sp := range spans {
+		if sp.Request == 0 {
+			continue
+		}
+		byReq[sp.Request] = append(byReq[sp.Request], sp)
+	}
+	if len(byReq) == 0 {
+		return nil
+	}
+	ids := make([]int64, 0, len(byReq))
+	for id := range byReq {
+		ids = append(ids, id) //dynnlint:ignore determinism keys are sorted immediately below
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	views := make([]RequestView, 0, len(ids))
+	for _, id := range ids {
+		group := byReq[id]
+		SortSpans(group)
+		v := RequestView{
+			Request:    id,
+			Tenant:     group[0].Tenant,
+			Replica:    group[0].Replica,
+			StartNS:    group[0].StartNS,
+			LaneBusyNS: map[string]int64{},
+			Spans:      group,
+		}
+		for _, sp := range group {
+			if sp.StartNS < v.StartNS {
+				v.StartNS = sp.StartNS
+			}
+			if e := sp.End(); e > v.EndNS {
+				v.EndNS = e
+			}
+			if sp.Kind == SpanQueue {
+				v.QueueNS += sp.DurNS
+			}
+			v.LaneBusyNS[sp.Lane] += sp.DurNS
+		}
+		views = append(views, v)
+	}
+	return views
+}

@@ -1,0 +1,86 @@
+package obsv
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAssembleRequests: spans regroup into per-request timelines ordered by
+// id, with the start/end bracket, queue-wait sum, and per-lane occupancy.
+func TestAssembleRequests(t *testing.T) {
+	spans := []Span{
+		// Request 2, interleaved with request 1 on purpose.
+		{Kind: SpanCompute, Lane: LaneCompute, StartNS: 200, DurNS: 50, Request: 2, Tenant: "beta", Replica: 1},
+		{Kind: SpanQueue, Lane: LaneHost, StartNS: 150, DurNS: 50, Request: 2, Tenant: "beta", Replica: 1},
+		// Request 1 spans two lanes.
+		{Kind: SpanQueue, Lane: LaneHost, StartNS: 0, DurNS: 100, Request: 1, Tenant: "alpha"},
+		{Kind: SpanCompute, Lane: LaneCompute, StartNS: 100, DurNS: 30, Request: 1, Tenant: "alpha"},
+		{Kind: SpanPrefetch, Lane: LaneH2D, StartNS: 100, DurNS: 40, Bytes: 64, Request: 1, Tenant: "alpha"},
+		// Unstamped training span: skipped.
+		{Kind: SpanCompute, Lane: LaneCompute, StartNS: 0, DurNS: 999},
+	}
+	views := AssembleRequests(spans)
+	if len(views) != 2 {
+		t.Fatalf("got %d views, want 2", len(views))
+	}
+	v1, v2 := views[0], views[1]
+	if v1.Request != 1 || v2.Request != 2 {
+		t.Fatalf("views out of id order: %d, %d", v1.Request, v2.Request)
+	}
+	if v1.Tenant != "alpha" || v1.Replica != 0 || v2.Tenant != "beta" || v2.Replica != 1 {
+		t.Errorf("identity wrong: %+v / %+v", v1, v2)
+	}
+	if v1.StartNS != 0 || v1.EndNS != 140 {
+		t.Errorf("request 1 bracket [%d, %d], want [0, 140]", v1.StartNS, v1.EndNS)
+	}
+	if v1.QueueNS != 100 || v2.QueueNS != 50 {
+		t.Errorf("queue sums %d / %d, want 100 / 50", v1.QueueNS, v2.QueueNS)
+	}
+	if v1.LaneBusyNS[LaneCompute] != 30 || v1.LaneBusyNS[LaneH2D] != 40 || v1.LaneBusyNS[LaneHost] != 100 {
+		t.Errorf("request 1 lane occupancy %+v", v1.LaneBusyNS)
+	}
+	if len(v1.Spans) != 3 || len(v2.Spans) != 2 {
+		t.Errorf("span groups sized %d / %d, want 3 / 2", len(v1.Spans), len(v2.Spans))
+	}
+}
+
+func TestAssembleRequestsEmpty(t *testing.T) {
+	if v := AssembleRequests(nil); v != nil {
+		t.Errorf("nil spans: %+v", v)
+	}
+	if v := AssembleRequests([]Span{{Kind: SpanCompute, Lane: LaneCompute, DurNS: 1}}); v != nil {
+		t.Errorf("unstamped spans only: %+v", v)
+	}
+}
+
+// TestRequestStampsRoundTripChromeTrace: request identity survives the Chrome
+// Trace write/read cycle, so dynntrace can reassemble request timelines from
+// a file on disk.
+func TestRequestStampsRoundTripChromeTrace(t *testing.T) {
+	tr := NewTracer(WithAbsoluteTime())
+	st := tr.Sample(0)
+	st.Span(SpanCompute, LaneCompute, 3, 100, 40, 0)
+	st.SetRequest(7, "alpha")
+	st.SetReplica(2)
+	st.Span(SpanQueue, LaneHost, -1, 0, 100, 0)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Spans(), ChromeMeta{Label: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	spans, _, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := AssembleRequests(spans)
+	if len(views) != 1 {
+		t.Fatalf("got %d views, want 1", len(views))
+	}
+	v := views[0]
+	if v.Request != 7 || v.Tenant != "alpha" || v.Replica != 2 {
+		t.Errorf("identity lost in round-trip: %+v", v)
+	}
+	if v.QueueNS != 100 || v.LaneBusyNS[LaneCompute] != 40 {
+		t.Errorf("span content lost in round-trip: %+v", v)
+	}
+}

@@ -132,6 +132,21 @@ func (g *Registry) WritePrometheus(w io.Writer) {
 				add("dynn_serve_quota_peak_bytes", "Peak reserved bytes under the quota.", "gauge",
 					sl, float64(sv.QuotaPeakBytes))
 			}
+			if sv.Attribution != nil {
+				at := sv.Attribution
+				for _, c := range at.All.Named() {
+					add("dynn_serve_attribution_seconds_total",
+						"Summed end-to-end latency decomposed by cause (components sum exactly to the latency total).",
+						"counter", sl+",component="+quoteLabel(c.Name), float64(c.NS)/1e9)
+				}
+				for _, c := range at.Tail.Named() {
+					add("dynn_serve_tail_attribution_seconds_total",
+						"Latency decomposition of the p99 tail requests only.",
+						"counter", sl+",component="+quoteLabel(c.Name), float64(c.NS)/1e9)
+				}
+				add("dynn_serve_tail_requests_total", "Requests in the p99 tail.", "counter",
+					sl, float64(at.TailCount))
+			}
 		}
 		for _, name := range sortedKeys(s.Phases) {
 			h := s.Phases[name]
@@ -160,7 +175,7 @@ func (g *Registry) WritePrometheus(w io.Writer) {
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
-		keys = append(keys, k)
+		keys = append(keys, k) //dynnlint:ignore determinism keys are sorted immediately below
 	}
 	sort.Strings(keys)
 	return keys

@@ -34,6 +34,10 @@ type ServeStats struct {
 	// Memory accounting from the allocator's reservation layer.
 	QuotaBytes     int64 `json:"quota_bytes,omitempty"`
 	QuotaPeakBytes int64 `json:"quota_peak_bytes,omitempty"`
+	// Attribution decomposes the completed requests' summed end-to-end latency
+	// into named causes (and the p99 tail's slice on its own); All.TotalNS()
+	// equals the exact sum of the per-request latencies.
+	Attribution *LatencyAttribution `json:"attribution,omitempty"`
 }
 
 // SetServe attaches a serving summary so it rides along in RunStats and the

@@ -228,7 +228,7 @@ func (t *Timeline) Blocks() []BlockCost {
 	}
 	out := make([]BlockCost, 0, len(costs))
 	for _, c := range costs {
-		out = append(out, *c)
+		out = append(out, *c) //dynnlint:ignore determinism slice is sorted by block immediately below
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Block < out[j].Block })
 	return out

@@ -85,6 +85,13 @@ type Span struct {
 	// Outcome tags, meaningful on the sample envelope.
 	Mispredicted bool `json:"mispredicted,omitempty"`
 	CacheHit     bool `json:"cache_hit,omitempty"`
+	// Request identity, stamped by the serving layer (SampleTrace.SetRequest)
+	// on every span of a served request's trace so one cluster-wide timeline
+	// can be assembled per request; Replica is stamped by the cluster runtimes
+	// (SetReplica). Zero values on non-serving traces.
+	Request int64  `json:"request,omitempty"`
+	Tenant  string `json:"tenant,omitempty"`
+	Replica int    `json:"replica,omitempty"`
 	// Wall-clock annotations, populated only when the Tracer runs in wall
 	// mode (non-deterministic; excluded from the deterministic trace).
 	Worker int   `json:"worker,omitempty"`
@@ -106,6 +113,9 @@ type SampleTrace struct {
 	wallSW  Stopwatch
 	wallNS  int64
 	outcome outcome
+	request int64
+	tenant  string
+	replica int
 	spans   []Span
 }
 
@@ -129,6 +139,7 @@ func (st *SampleTrace) Span(kind SpanKind, lane string, block int, startNS, durN
 	st.spans = append(st.spans, Span{
 		Sample: st.sample, Kind: kind, Lane: lane, Block: block,
 		StartNS: st.base + startNS, DurNS: durNS, Bytes: bytes,
+		Request: st.request, Tenant: st.tenant, Replica: st.replica,
 	})
 }
 
@@ -140,7 +151,35 @@ func (st *SampleTrace) Retry(lane string, block int, startNS, durNS, bytes int64
 	st.spans = append(st.spans, Span{
 		Sample: st.sample, Kind: SpanRetry, Lane: lane, Block: block,
 		StartNS: st.base + startNS, DurNS: durNS, Bytes: bytes, Attempt: attempt,
+		Request: st.request, Tenant: st.tenant, Replica: st.replica,
 	})
+}
+
+// SetRequest tags the trace — spans already recorded and spans still to
+// come — with the served request's identity, threading the causal request
+// context through every lane the request touches. The serving layer calls it
+// after dispatch, when the engine's spans are already in place.
+func (st *SampleTrace) SetRequest(id int64, tenant string) {
+	if st == nil {
+		return
+	}
+	st.request, st.tenant = id, tenant
+	for i := range st.spans {
+		st.spans[i].Request, st.spans[i].Tenant = id, tenant
+	}
+}
+
+// SetReplica tags the trace (retroactively and forward) with the GPU replica
+// that executed it, so overlapping per-replica work stays attributable on the
+// shared cluster clock.
+func (st *SampleTrace) SetReplica(r int) {
+	if st == nil {
+		return
+	}
+	st.replica = r
+	for i := range st.spans {
+		st.spans[i].Replica = r
+	}
 }
 
 // Instant records a zero-duration marker at simulated t=0 whose real cost is
@@ -150,7 +189,10 @@ func (st *SampleTrace) Instant(kind SpanKind, wallNS int64) {
 	if st == nil {
 		return
 	}
-	sp := Span{Sample: st.sample, Kind: kind, Lane: LaneHost, Block: -1, StartNS: st.base}
+	sp := Span{
+		Sample: st.sample, Kind: kind, Lane: LaneHost, Block: -1, StartNS: st.base,
+		Request: st.request, Tenant: st.tenant, Replica: st.replica,
+	}
 	if st.wall {
 		sp.WallNS = wallNS
 		sp.Worker = st.worker
@@ -234,6 +276,9 @@ type chromeArgs struct {
 	Attempt      int      `json:"attempt,omitempty"`
 	Mispredicted bool     `json:"mispredicted,omitempty"`
 	CacheHit     bool     `json:"cache_hit,omitempty"`
+	Request      int64    `json:"request,omitempty"`
+	Tenant       string   `json:"tenant,omitempty"`
+	Replica      int      `json:"replica,omitempty"`
 	Worker       int      `json:"worker,omitempty"`
 	WallNS       int64    `json:"wall_ns,omitempty"`
 	Name         string   `json:"name,omitempty"` // metadata events only
@@ -318,6 +363,7 @@ func WriteChromeTrace(w io.Writer, spans []Span, meta ChromeMeta) error {
 		args := &chromeArgs{
 			Sample: sp.Sample, Kind: sp.Kind, Bytes: sp.Bytes, Attempt: sp.Attempt,
 			Mispredicted: sp.Mispredicted, CacheHit: sp.CacheHit,
+			Request: sp.Request, Tenant: sp.Tenant, Replica: sp.Replica,
 			Worker: sp.Worker, WallNS: sp.WallNS,
 		}
 		if sp.Block >= 0 {
@@ -391,6 +437,9 @@ func ReadChromeTrace(r io.Reader) ([]Span, ChromeMeta, error) {
 			sp.Attempt = ev.Args.Attempt
 			sp.Mispredicted = ev.Args.Mispredicted
 			sp.CacheHit = ev.Args.CacheHit
+			sp.Request = ev.Args.Request
+			sp.Tenant = ev.Args.Tenant
+			sp.Replica = ev.Args.Replica
 			sp.Worker = ev.Args.Worker
 			sp.WallNS = ev.Args.WallNS
 		}

@@ -54,6 +54,10 @@ func NewTracer(opts ...TracerOption) *Tracer {
 // WallTime reports whether wall-clock annotations are recorded.
 func (t *Tracer) WallTime() bool { return t != nil && t.wall }
 
+// AbsoluteTime reports whether samples are laid on one shared virtual clock
+// (WithAbsoluteTime) instead of the serial-equivalent offset layout.
+func (t *Tracer) AbsoluteTime() bool { return t != nil && t.absolute }
+
 // Sample registers and returns the trace collector for one sample index.
 // Nil-safe: a nil tracer yields a nil SampleTrace, whose methods no-op.
 func (t *Tracer) Sample(idx int) *SampleTrace {
@@ -128,7 +132,7 @@ func (t *Tracer) Spans() []Span {
 	t.mu.Lock()
 	idxs := make([]int, 0, len(t.samples))
 	for idx := range t.samples {
-		idxs = append(idxs, idx)
+		idxs = append(idxs, idx) //dynnlint:ignore determinism indices are sorted immediately below
 	}
 	sts := make([]*SampleTrace, 0, len(idxs))
 	sort.Ints(idxs)
@@ -156,6 +160,7 @@ func (t *Tracer) Spans() []Span {
 			Sample: st.sample, Kind: SpanSample, Lane: LaneHost, Block: -1,
 			StartNS: start, DurNS: dur,
 			Mispredicted: st.outcome.mispredicted, CacheHit: st.outcome.cacheHit,
+			Request: st.request, Tenant: st.tenant, Replica: st.replica,
 		}
 		if st.wall {
 			env.Worker = st.worker

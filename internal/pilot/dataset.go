@@ -1,6 +1,8 @@
 package pilot
 
 import (
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"strconv"
 	"strings"
@@ -48,13 +50,16 @@ type PathInfo struct {
 	// (graph.PathSignature): decision vectors routing into the same operator
 	// sequence share one Sig, and with it one resolved plan.
 	Sig string
-	// PlanKey extends Sig with the model-context fingerprint (cost model,
-	// partition budget, block clamp) — everything besides the path itself
-	// that the trace, analysis, and block partition were derived from. Two
-	// PathInfos with equal PlanKeys have numerically identical analyses and
-	// partitions, so they may share a resolved plan across engines and sweep
-	// grid points. Empty on hand-built PathInfos, which then only plan-cache
-	// per engine by pointer identity.
+	// PlanKey is a fixed-width digest of Sig plus the model-context
+	// fingerprint (cost model, partition budget, block clamp) — everything
+	// besides the path itself that the trace, analysis, and block partition
+	// were derived from. Two PathInfos with equal PlanKeys have numerically
+	// identical analyses and partitions, so they may share a resolved plan
+	// across engines and sweep grid points. The digest is a 128-bit
+	// graph.SignatureHash128 rendered as "ph1\x00" + 32 hex digits, so the
+	// plan cache's L2 map compares 36 bytes per probe instead of walking a
+	// signature string that grows with model depth. Empty on hand-built
+	// PathInfos, which then only plan-cache per engine by pointer identity.
 	PlanKey string
 }
 
@@ -141,9 +146,22 @@ func NewModelContext(m dynn.Model, cm gpusim.CostModel, budget int64, maxBlocks 
 		blocks = clampBlocks(blocks, maxBlocks)
 		info.Blocks = blocks
 		info.Label = labelVector(info.Analysis, blocks, maxBlocks)
-		info.PlanKey = info.Sig + "\x00" + fp
+		info.PlanKey = planKey(info.Sig, fp)
 	}
 	return ctx, nil
+}
+
+// planKey renders the compact plan-sharing key: a versioned 128-bit digest of
+// the path signature and the context fingerprint (see PathInfo.PlanKey). The
+// "ph1\x00" prefix versions the hash construction and keeps the digest
+// disjoint from any legacy signature-string key (signatures never contain
+// NUL bytes in their first four characters' positions this way).
+func planKey(sig, fp string) string {
+	hi, lo := graph.SignatureHash128(sig, fp)
+	var d [16]byte
+	binary.BigEndian.PutUint64(d[:8], hi)
+	binary.BigEndian.PutUint64(d[8:], lo)
+	return "ph1\x00" + hex.EncodeToString(d[:])
 }
 
 // ctxFingerprint renders the context parameters a path's analysis and block

@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"dynnoffload/internal/gpusim"
+	"dynnoffload/internal/obsv"
+)
+
+// attribution decomposes one completed request's end-to-end latency into the
+// obsv taxonomy. The decomposition is exact by construction:
+//
+//	e2e = waitNS + serviceNS
+//	    = (waitNS - quotaNS) + quotaNS            // queue + quota
+//	    + DeviceNS                                // compute + exposed + remat + fault
+//	    + (serviceNS - DeviceNS)                  // batching residual
+//
+// so TotalNS() of the returned components equals e2e to the nanosecond.
+// PilotNS stays zero: the runtime keeps pilot inference and output mapping in
+// host wall time (Breakdown.OverheadNS), off the virtual clock, so charging it
+// here would leak scheduling noise into the deterministic decomposition.
+// AllReduceNS stays zero too — served requests do not synchronize gradients.
+func attribution(waitNS, quotaNS, serviceNS int64, bd gpusim.Breakdown) obsv.AttributionComponents {
+	if quotaNS > waitNS {
+		// quotaNS is measured inside the wait by construction; clamp so the
+		// queue component can never go negative even if that invariant drifts.
+		quotaNS = waitNS
+	}
+	return obsv.AttributionComponents{
+		QueueNS:   waitNS - quotaNS,
+		QuotaNS:   quotaNS,
+		ComputeNS: bd.ComputeNS,
+		ExposedNS: bd.ExposedXferNS,
+		RematNS:   bd.RematNS,
+		FaultNS:   bd.FaultNS,
+		BatchNS:   serviceNS - bd.DeviceNS(),
+	}
+}

@@ -179,6 +179,10 @@ func RunCluster(b *ClusterBackend, cfg ClusterConfig) (*ClusterReport, error) {
 		scaleWindow = DefaultScaleWindow
 	}
 
+	flights := make([]*obsv.FlightRecorder, replicas)
+	for r := range flights {
+		flights[r] = obsv.NewFlightRecorder(r, cfg.Flight)
+	}
 	s := &clusterLoop{
 		cfg: cfg, backend: b, ledgers: ledgers,
 		maxBatch: maxBatch, starveAge: starveAge,
@@ -190,6 +194,7 @@ func RunCluster(b *ClusterBackend, cfg ClusterConfig) (*ClusterReport, error) {
 		completed:   make([]int64, replicas),
 		busyNS:      make([]int64, replicas),
 		homeServed:  make([]int64, len(cfg.Tenants)),
+		flights:     flights,
 		active:      replicas,
 		minActive:   minActive,
 		scaleWindow: scaleWindow,
@@ -207,7 +212,7 @@ func RunCluster(b *ClusterBackend, cfg ClusterConfig) (*ClusterReport, error) {
 		s.homes[t] = t % replicas
 	}
 	if err := s.run(arrivals); err != nil {
-		return nil, err
+		return nil, wrapFlightError(err, s.flights)
 	}
 	return s.report(), nil
 }
@@ -226,7 +231,7 @@ type clusterLoop struct {
 	queued  []*request
 	acc     []tenantAcc
 	batches int64
-	slots   int
+	slots   slotCounter
 
 	homes      []int   // tenant -> home replica
 	free       []int64 // replica busy-until
@@ -234,6 +239,7 @@ type clusterLoop struct {
 	completed  []int64
 	busyNS     []int64
 	homeServed []int64
+	flights    []*obsv.FlightRecorder // per replica; nil entries when disabled
 	makespanNS int64
 
 	active      int
@@ -285,17 +291,24 @@ func (s *clusterLoop) run(arrivals []*request) error {
 func (s *clusterLoop) admit(r *request) {
 	a := &s.acc[r.tenant]
 	a.arrivals++
+	name := s.cfg.Tenants[r.tenant].Name
+	// Admission happens before placement, so its events land on the tenant's
+	// home replica recorder — the replica most likely to serve the request.
+	flight := s.flights[s.homes[r.tenant]]
 	quota := s.cfg.Tenants[r.tenant].QuotaBytes
 	if (quota > 0 && r.needBytes > quota) || r.needBytes > s.ledgers[0].Capacity {
 		a.quotaShed++
+		recordAdmission(flight, obsv.FlightQuotaShed, r, name)
 		return
 	}
 	if a.inQueue >= a.maxQueue {
 		a.shed++
+		recordAdmission(flight, obsv.FlightShed, r, name)
 		return
 	}
 	a.inQueue++
 	s.queued = append(s.queued, r)
+	recordAdmission(flight, obsv.FlightAdmit, r, name)
 }
 
 // pickReplica chooses where the next batch runs: among replicas free now,
@@ -342,8 +355,7 @@ func (s *clusterLoop) dispatch(r int) error {
 	for i, req := range batch {
 		exs[i] = req.ex
 	}
-	base := s.slots
-	s.slots += len(batch)
+	base := s.slots.take(len(batch))
 	eng := s.backend.Engines[r]
 	results, err := eng.RunBatch(exs, core.EpochOptions{
 		Workers:     s.cfg.Workers,
@@ -356,6 +368,7 @@ func (s *clusterLoop) dispatch(r int) error {
 		s.ledgers[r].Free(req.id)
 	}
 	if err != nil {
+		recordBatchError(s.flights[r], s.now, err)
 		return fmt.Errorf("serve: replica %d batch at t=%dns: %w", r, s.now, err)
 	}
 
@@ -369,13 +382,16 @@ func (s *clusterLoop) dispatch(r int) error {
 		s.makespanNS = done
 	}
 	s.rec.ObservePhase(PhaseService, serviceNS)
+	recordDispatch(s.flights[r], s.now, len(batch), serviceNS)
 
 	for i, req := range batch {
 		a := &s.acc[req.tenant]
 		a.inQueue--
+		name := s.cfg.Tenants[req.tenant].Name
 		waitNS := s.now - req.arrivalNS
 		e2e := done - req.arrivalNS
-		a.complete(e2e, waitNS, req.deadlineNS < done)
+		a.complete(e2e, waitNS, req.deadlineNS < done,
+			attribution(waitNS, req.quotaNS, serviceNS, results[i].Breakdown))
 		s.completed[r]++
 		if s.homes[req.tenant] == r {
 			s.homeServed[req.tenant]++
@@ -384,12 +400,11 @@ func (s *clusterLoop) dispatch(r int) error {
 		tr.ObservePhase(PhaseQueue, waitNS)
 		tr.ObservePhase(PhaseE2E, e2e)
 		tr.ObserveSample(req.seq, results[i].Mispredicted, results[i].CacheHit, e2e)
-		if st := s.cfg.Tracer.At(base + i); st != nil {
-			// The batch's engine spans sit at ClockBaseNS = now; the queue
-			// wait precedes them (build the tracer with WithAbsoluteTime —
-			// replicas genuinely overlap on the cluster clock).
-			st.Span(obsv.SpanQueue, obsv.LaneHost, -1, -waitNS, waitNS, 0)
-		}
+		// The batch's engine spans sit at ClockBaseNS = now; the queue wait
+		// precedes them (build the tracer with WithAbsoluteTime — replicas
+		// genuinely overlap on the cluster clock).
+		annotateRequestTrace(s.cfg.Tracer, base+i, req, name, r, waitNS)
+		recordCompletion(s.flights[r], done, req, name, e2e, results[i].FaultCounters)
 		s.observeWait(waitNS)
 	}
 	s.scaleUp()
@@ -429,6 +444,10 @@ func (s *clusterLoop) scaleUp() {
 	}
 	s.waits = s.waits[:0]
 	s.events = append(s.events, ScaleEvent{AtNS: s.now, Active: s.active, Reason: "scale-up"})
+	// The transition lands on the newly activated replica's recording.
+	s.flights[s.active-1].Record(obsv.FlightEvent{
+		AtNS: s.now, Kind: obsv.FlightScaleUp, N: s.active,
+	})
 }
 
 // scaleDown retires idle replicas beyond the floor, highest index first.
@@ -445,6 +464,10 @@ func (s *clusterLoop) scaleDown() {
 		}
 		s.active--
 		s.events = append(s.events, ScaleEvent{AtNS: s.now, Active: s.active, Reason: "scale-down"})
+		// The retired replica records its own retirement.
+		s.flights[r].Record(obsv.FlightEvent{
+			AtNS: s.now, Kind: obsv.FlightScaleDown, N: s.active,
+		})
 	}
 }
 
@@ -471,6 +494,7 @@ func (s *clusterLoop) report() *ClusterReport {
 		ScaleEvents: s.events,
 		PeakActive:  s.peakActive,
 	}
+	rep.Flights = collectFlights(s.flights, s.makespanNS)
 	for t, tc := range s.cfg.Tenants {
 		rep.Placements = append(rep.Placements, Placement{
 			Tenant: tc.Name, Home: s.homes[t],

@@ -20,15 +20,38 @@ type tenantAcc struct {
 	violations int64
 	queueSumNS int64
 	latencies  []int64 // e2e, in completion order
+	// attribs holds each completed request's latency decomposition, aligned
+	// with latencies (attribs[i].TotalNS() == latencies[i] exactly).
+	attribs []obsv.AttributionComponents
 }
 
-func (a *tenantAcc) complete(e2eNS, waitNS int64, violated bool) {
+func (a *tenantAcc) complete(e2eNS, waitNS int64, violated bool, comp obsv.AttributionComponents) {
 	a.completed++
 	a.queueSumNS += waitNS
 	a.latencies = append(a.latencies, e2eNS)
+	a.attribs = append(a.attribs, comp)
 	if violated {
 		a.violations++
 	}
+}
+
+// foldAttribution folds per-request decompositions into a tenant- or run-level
+// aggregate: every completion, plus the slice of requests whose latency
+// reached the given exact p99 (the tail under explanation). Nil when nothing
+// completed.
+func foldAttribution(attribs []obsv.AttributionComponents, p99NS int64) *obsv.LatencyAttribution {
+	if len(attribs) == 0 {
+		return nil
+	}
+	at := &obsv.LatencyAttribution{}
+	for _, c := range attribs {
+		at.All.Add(c)
+		if c.TotalNS() >= p99NS {
+			at.Tail.Add(c)
+			at.TailCount++
+		}
+	}
+	return at
 }
 
 // exactQuantile returns the q-th order statistic of sorted (the smallest
@@ -50,8 +73,10 @@ func exactQuantile(sorted []int64, q float64) int64 {
 
 // report assembles the run's summaries from the single-device loop's state.
 func (s *loop) report() *Report {
-	return buildReport(s.cfg.Tenants, s.acc, s.tenantRecs, s.rec,
+	rep := buildReport(s.cfg.Tenants, s.acc, s.tenantRecs, s.rec,
 		s.batches, s.now, s.ledger.HighWater(), s.ledger.OwnerHighWater)
+	rep.Flights = collectFlights([]*obsv.FlightRecorder{s.flight}, s.now)
+	return rep
 }
 
 // buildReport folds the per-tenant accumulators into the serving report and
@@ -61,6 +86,7 @@ func (s *loop) report() *Report {
 func buildReport(tenants []TenantConfig, acc []tenantAcc, tenantRecs []*obsv.Recorder, rec *obsv.Recorder, batches, makespanNS, highWater int64, ownerPeak func(string) int64) *Report {
 	rep := &Report{MakespanNS: makespanNS, DeviceHighWater: highWater}
 	var allLat []int64
+	var allAttribs []obsv.AttributionComponents
 	var queueSum int64
 	for t, tc := range tenants {
 		a := &acc[t]
@@ -74,6 +100,7 @@ func buildReport(tenants []TenantConfig, acc []tenantAcc, tenantRecs []*obsv.Rec
 		tenantRecs[t].SetServe(st)
 		rep.Tenants = append(rep.Tenants, TenantReport{Name: tc.Name, Stats: st})
 		allLat = append(allLat, a.latencies...)
+		allAttribs = append(allAttribs, a.attribs...)
 		queueSum += a.queueSumNS
 
 		rep.Total.Arrivals += st.Arrivals
@@ -94,6 +121,7 @@ func buildReport(tenants []TenantConfig, acc []tenantAcc, tenantRecs []*obsv.Rec
 		rep.Total.P99NS = exactQuantile(allLat, 0.99)
 		rep.Total.P999NS = exactQuantile(allLat, 0.999)
 		rep.Total.MaxNS = allLat[n-1]
+		rep.Total.Attribution = foldAttribution(allAttribs, rep.Total.P99NS)
 	}
 	rep.Total.Batches = batches
 	rep.Total.QuotaPeakBytes = highWater
@@ -122,6 +150,7 @@ func reduce(a *tenantAcc, sorted []int64) obsv.ServeStats {
 		st.P99NS = exactQuantile(sorted, 0.99)
 		st.P999NS = exactQuantile(sorted, 0.999)
 		st.MaxNS = sorted[n-1]
+		st.Attribution = foldAttribution(a.attribs, st.P99NS)
 	}
 	return st
 }

@@ -80,6 +80,10 @@ type Config struct {
 	// Registry, when non-nil, exposes the run's recorders (one global, one
 	// per tenant) on the live /metrics endpoint.
 	Registry *obsv.Registry
+	// Flight sizes the per-replica flight recorder (bounded ring of recent
+	// lifecycle events, snapshotted on SLO breach, fault-ladder degradation,
+	// or engine capacity exhaustion). The zero value disables it.
+	Flight obsv.FlightConfig
 }
 
 // Backend is what the serving layer runs requests against.
@@ -102,6 +106,11 @@ type request struct {
 	deadlineNS int64 // math.MaxInt64 when the tenant has no SLO
 	ex         *pilot.Example
 	needBytes  int64
+	// Quota-wait tracking for SLO attribution: quotaSinceNS is the simulated
+	// time of the first refused reservation of the current blocked stretch
+	// (0 when not blocked); quotaNS accumulates the blocked time at dispatch.
+	quotaSinceNS int64
+	quotaNS      int64
 }
 
 // TenantReport is one tenant's serving summary.
@@ -122,6 +131,10 @@ type Report struct {
 	MakespanNS int64
 	// DeviceHighWater is the reservation ledger's peak across the run.
 	DeviceHighWater int64
+	// Flights holds the flight-recorder snapshots, in replica order: any
+	// triggered captures followed by each replica's unconditional end-of-run
+	// snapshot. Empty when Config.Flight leaves recording disabled.
+	Flights []obsv.FlightSnapshot
 }
 
 // Run plays cfg's request streams against the backend and returns the
@@ -180,7 +193,8 @@ func Run(b *Backend, cfg Config) (*Report, error) {
 	s := &loop{
 		cfg: cfg, backend: b, ledger: ledger, maxBatch: maxBatch,
 		starveAge: starveAge, rec: rec, tenantRecs: tenantRecs,
-		acc: make([]tenantAcc, len(cfg.Tenants)),
+		acc:    make([]tenantAcc, len(cfg.Tenants)),
+		flight: obsv.NewFlightRecorder(0, cfg.Flight),
 	}
 	for t := range s.acc {
 		mq := cfg.Tenants[t].MaxQueue
@@ -190,7 +204,7 @@ func Run(b *Backend, cfg Config) (*Report, error) {
 		s.acc[t].maxQueue = mq
 	}
 	if err := s.run(arrivals); err != nil {
-		return nil, err
+		return nil, wrapFlightError(err, []*obsv.FlightRecorder{s.flight})
 	}
 	return s.report(), nil
 }
@@ -209,7 +223,8 @@ type loop struct {
 	queued  []*request
 	acc     []tenantAcc
 	batches int64
-	slots   int // dispatch-order trace/recorder index counter
+	slots   slotCounter // dispatch-order trace/recorder index counter
+	flight  *obsv.FlightRecorder
 	// exs is the dispatch scratch buffer, reused across batches: RunBatch
 	// never retains its argument slice past the call, and a sweep replays
 	// thousands of dispatches, so one buffer serves the whole run.
@@ -246,17 +261,21 @@ func (s *loop) run(arrivals []*request) error {
 func (s *loop) admit(r *request) {
 	a := &s.acc[r.tenant]
 	a.arrivals++
+	name := s.cfg.Tenants[r.tenant].Name
 	quota := s.cfg.Tenants[r.tenant].QuotaBytes
 	if (quota > 0 && r.needBytes > quota) || r.needBytes > s.ledger.Capacity {
 		a.quotaShed++
+		recordAdmission(s.flight, obsv.FlightQuotaShed, r, name)
 		return
 	}
 	if a.inQueue >= a.maxQueue {
 		a.shed++
+		recordAdmission(s.flight, obsv.FlightShed, r, name)
 		return
 	}
 	a.inQueue++
 	s.queued = append(s.queued, r)
+	recordAdmission(s.flight, obsv.FlightAdmit, r, name)
 }
 
 // dispatch forms one continuous batch from the queue and runs it.
@@ -274,8 +293,7 @@ func (s *loop) dispatch() error {
 	for _, r := range batch {
 		s.exs = append(s.exs, r.ex)
 	}
-	base := s.slots
-	s.slots += len(batch)
+	base := s.slots.take(len(batch))
 	results, err := s.backend.Engine.RunBatch(s.exs, core.EpochOptions{
 		Workers:   s.cfg.Workers,
 		Recorder:  s.rec,
@@ -286,6 +304,7 @@ func (s *loop) dispatch() error {
 		s.ledger.Free(r.id)
 	}
 	if err != nil {
+		recordBatchError(s.flight, s.now, err)
 		return fmt.Errorf("serve: batch at t=%dns: %w", s.now, err)
 	}
 
@@ -293,21 +312,22 @@ func (s *loop) dispatch() error {
 	done := s.now + serviceNS
 	s.batches++
 	s.rec.ObservePhase(PhaseService, serviceNS)
+	recordDispatch(s.flight, s.now, len(batch), serviceNS)
 
 	for i, r := range batch {
 		a := &s.acc[r.tenant]
 		a.inQueue--
+		name := s.cfg.Tenants[r.tenant].Name
 		waitNS := s.now - r.arrivalNS
 		e2e := done - r.arrivalNS
-		a.complete(e2e, waitNS, r.deadlineNS < done)
+		a.complete(e2e, waitNS, r.deadlineNS < done,
+			attribution(waitNS, r.quotaNS, serviceNS, results[i].Breakdown))
 		tr := s.tenantRecs[r.tenant]
 		tr.ObservePhase(PhaseQueue, waitNS)
 		tr.ObservePhase(PhaseE2E, e2e)
 		tr.ObserveSample(r.seq, results[i].Mispredicted, results[i].CacheHit, e2e)
-		if st := s.cfg.Tracer.At(base + i); st != nil {
-			st.Shift(waitNS)
-			st.Span(obsv.SpanQueue, obsv.LaneHost, -1, 0, waitNS, 0)
-		}
+		annotateRequestTrace(s.cfg.Tracer, base+i, r, name, 0, waitNS)
+		recordCompletion(s.flight, done, r, name, e2e, results[i].FaultCounters)
 	}
 	s.now = done
 	return nil
@@ -353,13 +373,24 @@ func selectBatch(queued []*request, now, starveAge int64, maxBatch int, ledger *
 
 	rest = queued[:0]
 	for _, r := range q {
-		if len(batch) < maxBatch &&
-			(len(batch) == 0 || r.ex.Ctx == batch[0].ex.Ctx) &&
-			ledger.Reserve(tenants[r.tenant].Name, r.id, r.needBytes) == nil {
-			batch = append(batch, r)
-		} else {
-			rest = append(rest, r)
+		if len(batch) < maxBatch && (len(batch) == 0 || r.ex.Ctx == batch[0].ex.Ctx) {
+			if ledger.Reserve(tenants[r.tenant].Name, r.id, r.needBytes) == nil {
+				// Close out any quota-blocked stretch: the request waited on
+				// its memory reservation from the first refusal until now.
+				if r.quotaSinceNS > 0 {
+					r.quotaNS += now - r.quotaSinceNS
+					r.quotaSinceNS = 0
+				}
+				batch = append(batch, r)
+				continue
+			}
+			// Refused by the reservation layer specifically (batch had room
+			// and the context matched): the quota wait starts now.
+			if r.quotaSinceNS == 0 {
+				r.quotaSinceNS = now
+			}
 		}
+		rest = append(rest, r)
 	}
 	return batch, rest
 }

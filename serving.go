@@ -20,11 +20,38 @@ type (
 	ServeStats        = obsv.ServeStats
 )
 
+// Re-exported request-lifecycle observability types. AttributionComponents is
+// the exact decomposition of a request's end-to-end latency into named causes
+// (components sum to the latency to the nanosecond); LatencyAttribution
+// aggregates it per tenant and for the p99 tail inside ServeStats. The flight
+// recorder keeps a bounded per-replica ring of lifecycle events (enable via
+// ServeConfig.Flight), snapshotted on SLO breach, fault-ladder degradation, or
+// engine capacity exhaustion, and unconditionally at end of run; snapshots
+// ride in ServeReport.Flights (or a ServeFlightError when the run aborts) and
+// serialize to JSONL with FlightSnapshot.WriteJSONL. RequestView reassembles
+// one cluster-wide causal timeline per request from a request-stamped trace.
+type (
+	AttributionComponents = obsv.AttributionComponents
+	AttributionComponent  = obsv.AttributionComponent
+	LatencyAttribution    = obsv.LatencyAttribution
+	FlightConfig          = obsv.FlightConfig
+	FlightEvent           = obsv.FlightEvent
+	FlightSnapshot        = obsv.FlightSnapshot
+	ServeFlightError      = serve.FlightError
+	RequestView           = obsv.RequestView
+)
+
+// AssembleRequests groups request-stamped spans (Cluster.Serve traces) into
+// per-request timelines with per-lane occupancy.
+var AssembleRequests = obsv.AssembleRequests
+
 // Serving defaults, re-exported from the serving layer.
 const (
-	DefaultServeMaxBatch = serve.DefaultMaxBatch
-	DefaultServeMaxQueue = serve.DefaultMaxQueue
-	DefaultScaleWindow   = serve.DefaultScaleWindow
+	DefaultServeMaxBatch   = serve.DefaultMaxBatch
+	DefaultServeMaxQueue   = serve.DefaultMaxQueue
+	DefaultScaleWindow     = serve.DefaultScaleWindow
+	DefaultFlightEvents    = obsv.DefaultFlightEvents
+	DefaultFlightSnapshots = obsv.DefaultFlightSnapshots
 )
 
 // MetricsRegistry collects live recorders for Prometheus exposition; wire it
