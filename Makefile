@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 COVER_MIN ?= 70
-BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR10.json
 BENCH_REGRESS ?= 25
 
 .PHONY: build test check race race-full fmt vet lint bench benchcheck fuzz cover trace serve-smoke cluster-smoke
@@ -42,9 +42,9 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # Benchmark-regression gate: re-run the hot-path suite (graph_resolve,
-# des_iteration, plan_cache_hit/miss, serve_step) and fail on any ns/op more
-# than BENCH_REGRESS% over the committed baseline. Leaves bench-current.json
-# behind for inspection / CI artifact upload.
+# des_iteration, plan_cache_hit/miss, serve_step, online_retrain) and fail on
+# any ns/op more than BENCH_REGRESS% over the committed baseline. Leaves
+# bench-current.json behind for inspection / CI artifact upload.
 benchcheck:
 	$(GO) run ./cmd/dynnbench -benchjson bench-current.json \
 		-benchbaseline $(BENCH_BASELINE) -benchregress $(BENCH_REGRESS)
@@ -81,7 +81,8 @@ trace:
 # the fixed p99 SLO) on one migrating model. The engine run records the
 # flight recorder (flight-serve-*.jsonl) and its report — including the SLO
 # attribution table — lands in serve-attribution.txt for inspection / CI
-# artifact upload.
+# artifact upload. A third run turns on online pilot learning and leaves the
+# windowed mispredict-rate trajectory (serve-trajectory.jsonl) behind.
 serve-smoke:
 	$(GO) run ./cmd/dynnserve -model Tree-LSTM -train 200 -test 40 -epochs 4 \
 		-flight flight-serve \
@@ -90,7 +91,11 @@ serve-smoke:
 	cat serve-attribution.txt
 	$(GO) run ./cmd/dynnserve -model Tree-LSTM -train 200 -test 40 -epochs 4 -ondemand \
 		-tenants "alpha:rate=2000,requests=60,slo=50ms,quota=0.5;beta:rate=2000,requests=60,slo=50ms,quota=0.5"
+	$(GO) run ./cmd/dynnserve -model Tree-LSTM -train 200 -test 40 -epochs 4 \
+		-online -interval 8 -trajectory serve-trajectory.jsonl \
+		-tenants "alpha:rate=2000,requests=60,slo=50ms,quota=0.5;beta:rate=2000,requests=60,slo=50ms,quota=0.5"
 	$(GO) run ./cmd/dynnbench -exp servesweep -train 200 -test 40 -epochs 4
+	$(GO) run ./cmd/dynnbench -exp onlinesweep -train 200 -test 40 -epochs 4
 
 # Cluster smoke at CI scale: a 4-replica elastic serving run through the
 # public facade (cmd/dynnserve -gpus), a data-parallel Fig 10 epoch on the

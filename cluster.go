@@ -65,6 +65,7 @@ type clusterSettings struct {
 	gradSet   bool
 	tracer    *Tracer
 	onDemand  bool
+	online    OnlineConfig
 	sysOpts   []Option
 }
 
@@ -102,6 +103,16 @@ func WithOnDemandServing() ClusterOption {
 	return func(c *clusterSettings) { c.onDemand = true }
 }
 
+// WithOnlineLearning turns on the serve→pilot feedback loop for this
+// cluster's Serve runs: completed requests feed a bounded replay memory and
+// the shared pilot retrains in-loop (per-tenant adapters when
+// cfg.PerTenant). A ClusterConfig whose Online field is already enabled
+// takes precedence over this default.
+func WithOnlineLearning(cfg OnlineConfig) ClusterOption {
+	cfg.Enabled = true
+	return func(c *clusterSettings) { c.online = cfg }
+}
+
 // WithSystemOptions forwards options to the underlying NewSystem call
 // (platform, pilot config, workers, fault injection). Only valid with
 // NewCluster; System.Cluster already has its system.
@@ -119,6 +130,7 @@ type Cluster struct {
 	grad     int64
 	tracer   *Tracer
 	onDemand bool
+	online   OnlineConfig
 }
 
 // NewCluster builds a cluster over a fresh System for the model:
@@ -170,7 +182,7 @@ func (s *System) cluster(cs clusterSettings) (*Cluster, error) {
 	}
 	c := &Cluster{
 		sys: s, gpus: cs.gpus, topology: cs.topology, grad: cs.gradBytes,
-		tracer: cs.tracer, onDemand: cs.onDemand,
+		tracer: cs.tracer, onDemand: cs.onDemand, online: cs.online,
 	}
 	// Validate the wiring now, not on first use.
 	if _, err := distributed.New(c.trainConfig(), c.engines(false)); err != nil {
@@ -257,6 +269,9 @@ func (c *Cluster) Serve(pool []*dynn.Sample, cfg ClusterConfig) (*ClusterReport,
 	}
 	if cfg.Tracer == nil {
 		cfg.Tracer = c.tracer
+	}
+	if !cfg.Online.Enabled {
+		cfg.Online = c.online
 	}
 	return serve.RunCluster(&serve.ClusterBackend{Engines: c.engines(true), Pool: exs}, cfg)
 }

@@ -42,7 +42,7 @@ func main() {
 		faultSpec   = flag.String("faults", "", "deterministic fault injection, e.g. seed=7,rate=0.05[,stall=4]")
 		clusterJSON = flag.String("clusterjson", "", "write the clustersweep capacity curves (QPS vs GPU count per model) as JSON to this file")
 		traceFile   = flag.String("trace", "", "run one traced epoch of -model and write a Chrome Trace Event Format JSON file (Perfetto-loadable); skips -exp")
-		benchJSON   = flag.String("benchjson", "", "time the hot paths of -model (graph_resolve, des_iteration, plan_cache_hit/miss, serve_step) and write the results as JSON to this file (e.g. BENCH_PR8.json); skips -exp")
+		benchJSON   = flag.String("benchjson", "", "time the hot paths of -model (graph_resolve, des_iteration, plan_cache_hit/miss, serve_step, online_retrain) and write the results as JSON to this file (e.g. BENCH_PR10.json); skips -exp")
 		benchIters  = flag.Int("benchiters", 200, "iterations per -benchjson hot-path loop")
 		benchBase   = flag.String("benchbaseline", "", "with -benchjson: committed baseline JSON to compare against; exits 1 on any ns/op regression beyond -benchregress")
 		benchMaxReg = flag.Float64("benchregress", 25, "with -benchbaseline: maximum tolerated ns/op regression, percent")

@@ -52,6 +52,10 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "base seed (tenant seeds derive from it)")
 		workers   = flag.Int("workers", 0, "engine fan-out per dispatched batch (0 = GOMAXPROCS)")
 		faultSpec = flag.String("faults", "", "deterministic fault injection, e.g. seed=7,rate=0.05[,stall=4]")
+		online    = flag.Bool("online", false, "enable online pilot learning from serving traffic (replay memory + in-loop retraining + per-tenant adapters)")
+		interval  = flag.Int("interval", 0, "online retrain interval in completed requests (0 = default)")
+		memSize   = flag.Int("memsize", 0, "online replay-memory capacity (0 = default)")
+		trajFile  = flag.String("trajectory", "", "write the online mispredict-rate trajectory as JSONL (requires -online)")
 		traceFile = flag.String("trace", "", "write the serving trace (queue + device spans) as Chrome Trace Event JSON")
 		flight    = flag.String("flight", "", "enable the flight recorder and write each snapshot to PREFIX-r<replica>-<reason>.jsonl")
 		addr      = flag.String("serve", "", "serve live Prometheus metrics and pprof on this address, then block")
@@ -63,6 +67,7 @@ func main() {
 		train: *train, test: *test, neurons: *neurons, epochs: *epochs, batch: *batch,
 		seed: *seed, workers: *workers, faultSpec: *faultSpec, traceFile: *traceFile,
 		flightPrefix: *flight, addr: *addr,
+		online: *online, interval: *interval, memSize: *memSize, trajFile: *trajFile,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dynnserve:", err)
 		os.Exit(1)
@@ -84,6 +89,9 @@ type settings struct {
 	traceFile              string
 	flightPrefix           string
 	addr                   string
+	online                 bool
+	interval, memSize      int
+	trajFile               string
 }
 
 func run(model, tenantSpec string, st settings) error {
@@ -117,6 +125,16 @@ func run(model, tenantSpec string, st settings) error {
 	}
 	if st.onDemand {
 		copts = append(copts, dynnoffload.WithOnDemandServing())
+	}
+	if st.online {
+		copts = append(copts, dynnoffload.WithOnlineLearning(dynnoffload.OnlineConfig{
+			TrainingInterval: st.interval,
+			MemorySize:       st.memSize,
+			PerTenant:        true,
+			Seed:             st.seed,
+		}))
+	} else if st.trajFile != "" {
+		return errors.New("-trajectory requires -online")
 	}
 	var tracer *dynnoffload.Tracer
 	if st.traceFile != "" {
@@ -179,6 +197,19 @@ func run(model, tenantSpec string, st settings) error {
 		return err
 	}
 	report(os.Stdout, model, rep)
+	if st.online {
+		onlineReport(os.Stdout, rep)
+		ev, err := c.System().PilotEval(corpus[st.train:])
+		if err != nil {
+			return err
+		}
+		confusionReport(os.Stdout, ev)
+		if st.trajFile != "" {
+			if err := writeTrajectory(st.trajFile, rep.Total.Online); err != nil {
+				return err
+			}
+		}
+	}
 
 	if st.flightPrefix != "" {
 		if err := writeFlights(st.flightPrefix, rep.Flights); err != nil {
@@ -386,6 +417,80 @@ func attributionReport(out *os.File, rep *dynnoffload.ClusterReport) {
 	at.notes = append(at.notes, fmt.Sprintf("p99 tail (%d requests) is %s%% %s",
 		tail.TailCount, pct(dom.NS, tail.Tail.TotalNS()), dom.Name))
 	at.print(out)
+}
+
+// onlineReport prints the online-learning summary: replay-memory fill,
+// retrain count and cost, and the windowed mispredict-rate trajectory
+// endpoints.
+func onlineReport(out *os.File, rep *dynnoffload.ClusterReport) {
+	on := rep.Total.Online
+	if on == nil {
+		return
+	}
+	ot := &table{
+		title:  "Online pilot learning",
+		header: []string{"observed", "mispredicts", "retrains", "retrain-ms", "memory", "adapters", "first-window", "last-window"},
+	}
+	wr := func(r float64) string {
+		if r < 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.3f", r)
+	}
+	ot.rows = append(ot.rows, []string{
+		strconv.FormatInt(on.Observed, 10),
+		strconv.FormatInt(on.Mispredicts, 10),
+		strconv.FormatInt(on.Retrains, 10),
+		msf(on.RetrainNS),
+		fmt.Sprintf("%d/%d", on.MemorySize, on.MemoryCap),
+		strconv.Itoa(on.AdapterTenants),
+		wr(on.FirstWindowRate()),
+		wr(on.LastWindowRate()),
+	})
+	ot.notes = append(ot.notes, "window rates are mispredicts per observation window; see -trajectory for the full curve")
+	ot.print(out)
+}
+
+// confusionReport prints the pilot's top confused path pairs over the request
+// pool — the shape behind the mispredict rate.
+func confusionReport(out *os.File, ev dynnoffload.PilotEvalReport) {
+	top := ev.TopConfusions(8)
+	if len(top) == 0 {
+		return
+	}
+	ct := &table{
+		title:  fmt.Sprintf("Pilot confusion on the request pool (accuracy %.3f, %d/%d mispredicted)", ev.Accuracy, ev.Mispredictions, ev.Samples),
+		header: []string{"truth path", "predicted", "count"},
+	}
+	for _, c := range top {
+		pred := c.PredictedKey
+		if pred == "" {
+			pred = "(no path)"
+		}
+		ct.rows = append(ct.rows, []string{c.TruthKey, pred, strconv.Itoa(c.Count)})
+	}
+	ct.print(out)
+}
+
+// writeTrajectory writes the windowed mispredict-rate curve as JSONL, one
+// window per line.
+func writeTrajectory(path string, on *dynnoffload.OnlineStats) error {
+	if on == nil {
+		return errors.New("no online stats in report")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, w := range on.WindowRates {
+		if _, err := fmt.Fprintf(f, `{"end_seq":%d,"mispredicts":%d,"window":%d,"rate":%.6f}`+"\n",
+			w.EndSeq, w.Mispredicts, w.Window, w.Rate); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d trajectory windows to %s\n", len(on.WindowRates), path)
+	return nil
 }
 
 // pct renders part/total as a percentage with one decimal ("-" when empty).

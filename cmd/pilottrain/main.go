@@ -64,11 +64,11 @@ func main() {
 			var acc float64
 			var n int
 			for _, s := range sets {
-				a, _, _, err := p.Evaluate(s.test)
+				ev, err := p.Evaluate(s.test)
 				if err != nil {
 					fatal(err)
 				}
-				acc += a * float64(len(s.test))
+				acc += ev.Accuracy * float64(len(s.test))
 				n += len(s.test)
 			}
 			return acc / float64(n)
@@ -85,12 +85,12 @@ func main() {
 
 	fmt.Printf("\n%-12s %-10s %-10s %-12s\n", "model", "accuracy", "mispred", "infer (us)")
 	for _, s := range sets {
-		acc, mis, lat, err := p.Evaluate(s.test)
+		ev, err := p.Evaluate(s.test)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%-12s %-10.3f %-10s %-12.1f\n",
-			s.name, acc, fmt.Sprintf("%d/%d", mis, len(s.test)), float64(lat.Nanoseconds())/1e3)
+			s.name, ev.Accuracy, fmt.Sprintf("%d/%d", ev.Mispredictions, len(s.test)), float64(ev.MeanLatency.Nanoseconds())/1e3)
 	}
 }
 

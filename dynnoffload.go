@@ -105,12 +105,16 @@ var (
 	MiB          = gpusim.MiB
 )
 
-// Re-exported pilot-model types.
+// Re-exported pilot-model types. PilotEvalReport carries accuracy plus the
+// per-path confusion summary (which truth paths the pilot mistakes for
+// which), used by the online-sweep reporting and dynnserve tables.
 type (
-	PilotConfig  = pilot.Config
-	Pilot        = pilot.Pilot
-	PilotExample = pilot.Example
-	TrainResult  = pilot.TrainResult
+	PilotConfig       = pilot.Config
+	Pilot             = pilot.Pilot
+	PilotExample      = pilot.Example
+	TrainResult       = pilot.TrainResult
+	PilotEvalReport   = pilot.EvalReport
+	PilotConfusedPair = pilot.ConfusedPair
 )
 
 var (
@@ -313,11 +317,30 @@ func (s *System) PilotAccuracy(samples []*dynn.Sample) (float64, int, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	acc, mis, _, err := s.pilot.Evaluate(exs)
+	ev, err := s.pilot.Evaluate(exs)
 	if err != nil {
 		return 0, 0, fmt.Errorf("dynnoffload: %w", err)
 	}
-	return acc, mis, nil
+	return ev.Accuracy, ev.Mispredictions, nil
+}
+
+// PilotEval evaluates the pilot on samples and returns the full report:
+// accuracy, mis-prediction count, mean inference latency, and the per-path
+// confusion summary (which truth paths get mistaken for which, most frequent
+// first — see PilotEvalReport.TopConfusions).
+func (s *System) PilotEval(samples []*dynn.Sample) (PilotEvalReport, error) {
+	if s.pilot == nil {
+		return PilotEvalReport{}, fmt.Errorf("dynnoffload: %w", ErrPilotNotTrained)
+	}
+	exs, err := s.Examples(samples)
+	if err != nil {
+		return PilotEvalReport{}, err
+	}
+	ev, err := s.pilot.Evaluate(exs)
+	if err != nil {
+		return PilotEvalReport{}, fmt.Errorf("dynnoffload: %w", err)
+	}
+	return ev, nil
 }
 
 // EpochReport is the result of a simulated training epoch.

@@ -41,7 +41,7 @@ func (e *Engine) RunBatch(exs []*pilot.Example, opts EpochOptions) ([]SampleResu
 	resolutions := make([]pilot.Resolution, len(exs))
 	resolveErrs := make([]error, len(exs))
 	fanOut(len(exs), workers, func(i, _ int) {
-		resolutions[i], resolveErrs[i] = e.Pilot.Resolve(exs[i])
+		resolutions[i], resolveErrs[i] = e.pilotFor(&opts, i).Resolve(exs[i])
 		if rec != nil && resolveErrs[i] == nil {
 			rec.ObservePhase(PhasePilot, resolutions[i].InferNS)
 			rec.ObservePhase(PhaseMapping, resolutions[i].MapNS)

@@ -30,6 +30,20 @@ type EpochOptions struct {
 	// it with a tracer built with obsv.WithAbsoluteTime. 0 keeps the classic
 	// per-sample-relative layout.
 	ClockBaseNS int64
+	// Pilots, when non-nil, overrides the engine pilot per sample: sample i
+	// resolves through Pilots[i] when that entry is non-nil, falling back to
+	// the engine pilot otherwise. The serving layer uses it to route each
+	// request through its tenant's adapted pilot while the mis-prediction
+	// cache and cost model stay shared. Must be nil or len(samples).
+	Pilots []*pilot.Pilot
+}
+
+// pilotFor picks the resolving pilot for sample i under opts.
+func (e *Engine) pilotFor(opts *EpochOptions, i int) *pilot.Pilot {
+	if i < len(opts.Pilots) && opts.Pilots[i] != nil {
+		return opts.Pilots[i]
+	}
+	return e.Pilot
 }
 
 // Observability phase names recorded by ParallelRunEpoch.
@@ -79,7 +93,7 @@ func (e *Engine) ParallelRunEpoch(examples []*pilot.Example, opts EpochOptions) 
 	resolutions := make([]pilot.Resolution, len(examples))
 	resolveErrs := make([]error, len(examples))
 	fanOut(len(examples), workers, func(i, _ int) {
-		resolutions[i], resolveErrs[i] = e.Pilot.Resolve(examples[i])
+		resolutions[i], resolveErrs[i] = e.pilotFor(&opts, i).Resolve(examples[i])
 		if rec != nil && resolveErrs[i] == nil {
 			rec.ObservePhase(PhasePilot, resolutions[i].InferNS)
 			rec.ObservePhase(PhaseMapping, resolutions[i].MapNS)

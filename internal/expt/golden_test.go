@@ -151,3 +151,16 @@ func TestGoldenClusterSweep(t *testing.T) {
 	// Every column is virtual time or seeded arithmetic: nothing to mask.
 	goldenCheck(t, "clustersweep", tab)
 }
+
+func TestGoldenOnlineSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workbench construction is expensive")
+	}
+	tab, err := OnlineSweep(testWorkbench(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window rates, retrain counts, and retrain cost are all seeded simulated
+	// quantities: nothing to mask.
+	goldenCheck(t, "onlinesweep", tab)
+}

@@ -6,6 +6,7 @@ import (
 	"dynnoffload/internal/core"
 	"dynnoffload/internal/graph"
 	"dynnoffload/internal/obsv"
+	"dynnoffload/internal/online"
 	"dynnoffload/internal/serve"
 )
 
@@ -36,7 +37,10 @@ type MicroBenchResult struct {
 //     or sweep cell pays to skip compilation;
 //   - serve_step: mean end-to-end cost per served request through the
 //     multi-tenant front end (admission, EDF batch selection, reservation,
-//     RunBatch dispatch) under a saturating single-tenant arrival stream.
+//     RunBatch dispatch) under a saturating single-tenant arrival stream;
+//   - online_retrain: one online-learning retrain stall — replay-ring insert,
+//     seeded minibatch draw, and the shared-pilot Refine — at steady-state
+//     ring width.
 //
 // iters bounds each loop; the per-op mean divides measured wall time by the
 // iterations actually run. plan_cache_hit multiplies iters up: a lock-free
@@ -116,6 +120,11 @@ func MicroBench(w *Workbench, model string, iters int) ([]MicroBenchResult, erro
 		return nil, err
 	}
 
+	retrainNS, err := benchOnlineRetrain(w, mb, iters)
+	if err != nil {
+		return nil, err
+	}
+
 	perOp := func(ns int64, n int) float64 { return float64(ns) / float64(n) }
 	return []MicroBenchResult{
 		{Name: "graph_resolve", Model: model, Iters: iters, TotalNS: resolveNS, NsPerOp: perOp(resolveNS, iters)},
@@ -123,7 +132,33 @@ func MicroBench(w *Workbench, model string, iters int) ([]MicroBenchResult, erro
 		{Name: "plan_cache_miss", Model: model, Iters: iters, TotalNS: missNS, NsPerOp: perOp(missNS, iters)},
 		{Name: "plan_cache_hit", Model: model, Iters: hitIters, TotalNS: hitNS, NsPerOp: perOp(hitNS, hitIters)},
 		{Name: "serve_step", Model: model, Iters: served, TotalNS: serveNS, NsPerOp: perOp(serveNS, served)},
+		{Name: "online_retrain", Model: model, Iters: iters, TotalNS: retrainNS, NsPerOp: perOp(retrainNS, iters)},
 	}, nil
+}
+
+// benchOnlineRetrain times the online learner's retrain stall — ring insert,
+// seeded minibatch draw, and the shared-pilot Refine — with TrainingInterval
+// 1, so every timed Observe pays one full retrain. The ring is pre-filled
+// past the minibatch size outside the timer so each retrain samples at the
+// steady-state width.
+func benchOnlineRetrain(w *Workbench, mb *ModelBench, n int) (int64, error) {
+	l, err := online.New(online.Config{Enabled: true, TrainingInterval: 1}, w.Pilot, 0)
+	if err != nil {
+		return 0, fmt.Errorf("expt: %s online_retrain: %w", mb.Entry.Name, err)
+	}
+	exs := mb.Test
+	for i := 0; i < 64; i++ {
+		if _, err := l.Observe(0, exs[i%len(exs)], i%3 == 0); err != nil {
+			return 0, fmt.Errorf("expt: %s online_retrain warmup: %w", mb.Entry.Name, err)
+		}
+	}
+	sw := obsv.StartTimer()
+	for i := 0; i < n; i++ {
+		if _, err := l.Observe(0, exs[i%len(exs)], i%3 == 0); err != nil {
+			return 0, fmt.Errorf("expt: %s online_retrain: %w", mb.Entry.Name, err)
+		}
+	}
+	return sw.ElapsedNS(), nil
 }
 
 // benchServeSteps plays a saturating single-tenant stream of n requests

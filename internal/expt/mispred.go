@@ -21,12 +21,12 @@ func Mispredictions(wb *Workbench) (*Table, error) {
 		if !mb.Entry.Dynamic {
 			continue
 		}
-		acc, mis, _, err := wb.Pilot.Evaluate(mb.Test)
+		ev, err := wb.Pilot.Evaluate(mb.Test)
 		if err != nil {
 			return nil, fmt.Errorf("mispredictions: %s: %w", mb.Entry.Name, err)
 		}
 		t.Rows = append(t.Rows, []string{
-			mb.Entry.Name, fmt.Sprintf("%d", mis), fmt.Sprintf("%d", len(mb.Test)), fmt.Sprintf("%.3f", acc),
+			mb.Entry.Name, fmt.Sprintf("%d", ev.Mispredictions), fmt.Sprintf("%d", len(mb.Test)), fmt.Sprintf("%.3f", ev.Accuracy),
 		})
 	}
 
@@ -43,12 +43,12 @@ func Mispredictions(wb *Workbench) (*Table, error) {
 	p.Train(train)
 	for _, name := range []string{"var-LSTM", "var-BERT"} {
 		mb := wb.Bench(name)
-		acc, mis, _, err := p.Evaluate(mb.Test)
+		ev, err := p.Evaluate(mb.Test)
 		if err != nil {
 			return nil, fmt.Errorf("mispredictions: %s leave-out: %w", name, err)
 		}
 		t.Rows = append(t.Rows, []string{
-			name + " (leave-out)", fmt.Sprintf("%d", mis), fmt.Sprintf("%d", len(mb.Test)), fmt.Sprintf("%.3f", acc),
+			name + " (leave-out)", fmt.Sprintf("%d", ev.Mispredictions), fmt.Sprintf("%d", len(mb.Test)), fmt.Sprintf("%.3f", ev.Accuracy),
 		})
 	}
 	t.Notes = append(t.Notes,

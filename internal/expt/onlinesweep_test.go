@@ -1,0 +1,49 @@
+package expt
+
+import "testing"
+
+// TestOnlineSweepLearningBeatsFrozen pins the PR's headline claim: with
+// memoization and the mis-prediction cache out of the way, in-loop learning
+// ends every migrating dynamic model's windowed mispredict trajectory
+// strictly below the frozen-pilot control, and the online arm itself declines
+// on the tree/expert models whose path skew the replay memory can exploit.
+func TestOnlineSweepLearningBeatsFrozen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workbench construction is expensive")
+	}
+	wb := testWorkbench(t)
+	declineModels := map[string]bool{"Tree-CNN": true, "MoE": true}
+	var migrating int
+	for _, mb := range wb.Models {
+		if !mb.Entry.Dynamic {
+			continue
+		}
+		row, err := wb.onlineSweepModel(mb)
+		if err != nil {
+			t.Fatalf("%s: %v", mb.Entry.Name, err)
+		}
+		if !row.migrating {
+			continue
+		}
+		migrating++
+		if row.retrains == 0 || row.retrainNS == 0 {
+			t.Errorf("%s: online arm fired no retrains (retrains=%d retrainNS=%d)",
+				row.name, row.retrains, row.retrainNS)
+		}
+		if row.onlineLast < 0 || row.frozenLast < 0 {
+			t.Fatalf("%s: missing trajectory windows (online=%v frozen=%v)",
+				row.name, row.onlineLast, row.frozenLast)
+		}
+		if row.onlineLast >= row.frozenLast {
+			t.Errorf("%s: online last-window rate %.3f did not end below frozen %.3f",
+				row.name, row.onlineLast, row.frozenLast)
+		}
+		if declineModels[row.name] && row.onlineLast >= row.onlineFirst {
+			t.Errorf("%s: online trajectory did not decline (first %.3f, last %.3f)",
+				row.name, row.onlineFirst, row.onlineLast)
+		}
+	}
+	if migrating < 4 {
+		t.Fatalf("only %d migrating dynamic models — sweep lost its subjects", migrating)
+	}
+}

@@ -69,6 +69,8 @@ var experiments = []Experiment{
 		Run: func(wb *Workbench, _ Options) (*Table, error) { return ServeSweep(wb) }},
 	{Name: "clustersweep", Desc: "cluster serving: max sustainable QPS vs GPU count at fixed p99 SLO", NeedsWorkbench: true,
 		Run: func(wb *Workbench, _ Options) (*Table, error) { return ClusterSweep(wb) }},
+	{Name: "onlinesweep", Desc: "serving: windowed mispredict-rate trajectory, frozen pilot vs online learning", NeedsWorkbench: true,
+		Run: func(wb *Workbench, _ Options) (*Table, error) { return OnlineSweep(wb) }},
 }
 
 // Experiments returns the registry in registration order.

@@ -49,10 +49,11 @@ func TableIV(opts Options) (*Table, error) {
 	for _, n := range []int{128, 256, 512, 1024} {
 		p := pilot.New(pilot.Config{Neurons: n, Epochs: opts.Epochs, Seed: opts.Seed})
 		res := p.Train(train)
-		acc, mis, lat, err := p.Evaluate(test)
+		ev, err := p.Evaluate(test)
 		if err != nil {
 			return nil, fmt.Errorf("table4: %w", err)
 		}
+		acc, mis, lat := ev.Accuracy, ev.Mispredictions, ev.MeanLatency
 		delta := ""
 		if prevAcc > 0 {
 			delta = fmt.Sprintf(" (%+.2f)", acc-prevAcc)
@@ -100,11 +101,11 @@ func Fig11(opts Options) (*Table, error) {
 			cfg := pilot.Config{Neurons: n, Epochs: opts.Epochs, Seed: opts.Seed, Features: runs[i].fc}
 			p := pilot.New(cfg)
 			p.Train(train)
-			acc, _, _, err := p.Evaluate(test)
+			ev, err := p.Evaluate(test)
 			if err != nil {
 				return nil, fmt.Errorf("fig11: %w", err)
 			}
-			runs[i].accs[n] = acc
+			runs[i].accs[n] = ev.Accuracy
 		}
 	}
 	idiomW := (pilot.FeatureConfig{Repr: pilot.IdiomRepr}).Width()

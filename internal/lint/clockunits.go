@@ -87,7 +87,8 @@ var fieldUnits = map[string]map[string]map[string]unit{
 		"Span": {"StartNS": unitSimNS, "DurNS": unitSimNS, "WallNS": unitWallNS},
 		"AttributionComponents": {
 			"QueueNS": unitSimNS, "QuotaNS": unitSimNS, "PilotNS": unitSimNS,
-			"ComputeNS": unitSimNS, "ExposedNS": unitSimNS, "RematNS": unitSimNS,
+			"PilotRetrainNS": unitSimNS,
+			"ComputeNS":      unitSimNS, "ExposedNS": unitSimNS, "RematNS": unitSimNS,
 			"FaultNS": unitSimNS, "AllReduceNS": unitSimNS, "BatchNS": unitSimNS,
 		},
 		"AttributionComponent": {"NS": unitSimNS},

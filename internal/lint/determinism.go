@@ -17,6 +17,7 @@ var DeterministicPackages = []string{
 	"dynnoffload/internal/sentinel",
 	"dynnoffload/internal/metrics",
 	"dynnoffload/internal/pilot",
+	"dynnoffload/internal/online",
 	"dynnoffload/internal/serve",
 	"dynnoffload/internal/distributed",
 	"dynnoffload/internal/obsv",

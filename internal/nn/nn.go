@@ -207,9 +207,22 @@ const gradClip = 4.0
 // TrainStep performs one SGD-with-momentum step on (in, target) with MSE
 // loss and returns the pre-update loss.
 func (m *MLP) TrainStep(in, target []float64, lr, momentum float64) float64 {
+	return m.TrainStepFrom(in, target, lr, momentum, 0)
+}
+
+// TrainStepFrom performs one SGD-with-momentum step like TrainStep but
+// updates only layers with index >= from, leaving the earlier layers frozen.
+// The full forward pass still runs (frozen layers shape the activations);
+// backpropagation stops at layer from, since no earlier gradient is needed.
+// from = 0 is a full TrainStep; from = len(Layers)-1 fine-tunes the head
+// only — the online per-tenant adapter path.
+func (m *MLP) TrainStepFrom(in, target []float64, lr, momentum float64, from int) float64 {
 	out := m.Forward(in)
 	if len(target) != len(out) {
 		panic("nn: TrainStep target width mismatch") //dynnlint:ignore panicfree width mismatch is a caller bug; hot-path kernel fails fast like stdlib
+	}
+	if from < 0 || from >= len(m.Layers) {
+		panic("nn: TrainStepFrom layer index out of range") //dynnlint:ignore panicfree bad freeze point is a caller bug; fail fast like the width checks
 	}
 	last := len(m.Layers) - 1
 	var loss float64
@@ -223,8 +236,8 @@ func (m *MLP) TrainStep(in, target []float64, lr, momentum float64) float64 {
 		mathx.Scale(gradClip/nrm, m.deltas[last])
 	}
 
-	// Backpropagate deltas.
-	for li := last; li > 0; li-- {
+	// Backpropagate deltas down to the first unfrozen layer.
+	for li := last; li > from; li-- {
 		l := m.Layers[li]
 		mathx.MatVecT(l.W, l.Out, l.In, m.deltas[li], m.deltas[li-1])
 		prev := m.acts[li]
@@ -232,8 +245,9 @@ func (m *MLP) TrainStep(in, target []float64, lr, momentum float64) float64 {
 			m.deltas[li-1][i] *= m.Layers[li-1].Act.deriv(prev[i])
 		}
 	}
-	// Momentum update.
-	for li, l := range m.Layers {
+	// Momentum update on the unfrozen layers.
+	for li := from; li < len(m.Layers); li++ {
+		l := m.Layers[li]
 		if l.vW == nil {
 			l.vW = make([]float64, len(l.W))
 			l.vB = make([]float64, len(l.B))

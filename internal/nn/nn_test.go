@@ -178,3 +178,60 @@ func TestNewMLPPanicsOnShortSizes(t *testing.T) {
 	}()
 	NewMLP([]int{3}, LeakyReLU, mathx.NewRNG(1))
 }
+
+func TestTrainStepFromFreezesEarlyLayers(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	m := NewMLP([]int{3, 8, 8, 2}, LeakyReLU, rng)
+	frozenW := append([]float64(nil), m.Layers[0].W...)
+	frozenW = append(frozenW, m.Layers[1].W...)
+	headW := append([]float64(nil), m.Layers[2].W...)
+	in := []float64{0.5, -0.25, 1}
+	target := []float64{1, -1}
+	first := m.Loss(in, target)
+	head := len(m.Layers) - 1
+	for i := 0; i < 60; i++ {
+		m.TrainStepFrom(in, target, 0.05, 0.9, head)
+	}
+	got := append([]float64(nil), m.Layers[0].W...)
+	got = append(got, m.Layers[1].W...)
+	for i := range got {
+		if got[i] != frozenW[i] {
+			t.Fatalf("frozen weight %d moved under head-only training", i)
+		}
+	}
+	moved := false
+	for i := range headW {
+		if m.Layers[head].W[i] != headW[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("head weights never moved")
+	}
+	if last := m.Loss(in, target); last >= first {
+		t.Errorf("head-only training did not reduce loss: %v -> %v", first, last)
+	}
+}
+
+func TestTrainStepFromZeroMatchesTrainStep(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	a := NewMLP([]int{2, 6, 2}, LeakyReLU, rng)
+	b := a.Clone()
+	in := []float64{0.3, -0.8}
+	target := []float64{0, 1}
+	for i := 0; i < 25; i++ {
+		la := a.TrainStep(in, target, 0.05, 0.9)
+		lb := b.TrainStepFrom(in, target, 0.05, 0.9, 0)
+		if la != lb {
+			t.Fatalf("step %d: losses diverged %v vs %v", i, la, lb)
+		}
+	}
+	for li := range a.Layers {
+		for i := range a.Layers[li].W {
+			if a.Layers[li].W[i] != b.Layers[li].W[i] {
+				t.Fatalf("layer %d weight %d diverged", li, i)
+			}
+		}
+	}
+}

@@ -24,6 +24,12 @@ type AttributionComponents struct {
 	// (see serve.serviceTime), so this is zero under the default accounting
 	// and exists to keep the taxonomy closed under future on-clock pilots.
 	PilotNS int64 `json:"pilot_ns"`
+	// PilotRetrainNS is time the request sat queued behind an online-learning
+	// retrain stall: the host timeline pauses while the pilot refines on a
+	// replay-memory minibatch, and every request queued across the stall is
+	// charged its duration here instead of in QueueNS. Zero with online
+	// learning off.
+	PilotRetrainNS int64 `json:"pilot_retrain_ns"`
 	// ComputeNS is the request's own kernel time.
 	ComputeNS int64 `json:"compute_ns"`
 	// ExposedNS is transfer stall time the prefetcher failed to hide.
@@ -42,8 +48,8 @@ type AttributionComponents struct {
 // TotalNS sums the components — by construction, the end-to-end simulated
 // latency the decomposition explains.
 func (a AttributionComponents) TotalNS() int64 {
-	return a.QueueNS + a.QuotaNS + a.PilotNS + a.ComputeNS + a.ExposedNS +
-		a.RematNS + a.FaultNS + a.AllReduceNS + a.BatchNS
+	return a.QueueNS + a.QuotaNS + a.PilotNS + a.PilotRetrainNS + a.ComputeNS +
+		a.ExposedNS + a.RematNS + a.FaultNS + a.AllReduceNS + a.BatchNS
 }
 
 // Add accumulates another decomposition (per-request into per-tenant).
@@ -51,6 +57,7 @@ func (a *AttributionComponents) Add(o AttributionComponents) {
 	a.QueueNS += o.QueueNS
 	a.QuotaNS += o.QuotaNS
 	a.PilotNS += o.PilotNS
+	a.PilotRetrainNS += o.PilotRetrainNS
 	a.ComputeNS += o.ComputeNS
 	a.ExposedNS += o.ExposedNS
 	a.RematNS += o.RematNS
@@ -72,6 +79,7 @@ func (a AttributionComponents) Named() []AttributionComponent {
 		{"queue", a.QueueNS},
 		{"quota", a.QuotaNS},
 		{"pilot", a.PilotNS},
+		{"pilot_retrain", a.PilotRetrainNS},
 		{"compute", a.ComputeNS},
 		{"exposed", a.ExposedNS},
 		{"remat", a.RematNS},

@@ -7,10 +7,10 @@ import "testing"
 // latency rather than an approximation of it.
 func TestAttributionSumInvariant(t *testing.T) {
 	a := AttributionComponents{
-		QueueNS: 7, QuotaNS: 11, PilotNS: 13, ComputeNS: 17, ExposedNS: 19,
-		RematNS: 23, FaultNS: 29, AllReduceNS: 31, BatchNS: -5,
+		QueueNS: 7, QuotaNS: 11, PilotNS: 13, PilotRetrainNS: 37, ComputeNS: 17,
+		ExposedNS: 19, RematNS: 23, FaultNS: 29, AllReduceNS: 31, BatchNS: -5,
 	}
-	want := int64(7 + 11 + 13 + 17 + 19 + 23 + 29 + 31 - 5)
+	want := int64(7 + 11 + 13 + 37 + 17 + 19 + 23 + 29 + 31 - 5)
 	if got := a.TotalNS(); got != want {
 		t.Errorf("TotalNS() = %d, want %d", got, want)
 	}
@@ -29,7 +29,7 @@ func TestAttributionSumInvariant(t *testing.T) {
 	if sum != a.TotalNS() {
 		t.Errorf("sum of Named() = %d, TotalNS() = %d", sum, a.TotalNS())
 	}
-	wantOrder := []string{"queue", "quota", "pilot", "compute", "exposed", "remat", "fault", "allreduce", "batch"}
+	wantOrder := []string{"queue", "quota", "pilot", "pilot_retrain", "compute", "exposed", "remat", "fault", "allreduce", "batch"}
 	if len(named) != len(wantOrder) {
 		t.Fatalf("Named() has %d components, want %d", len(named), len(wantOrder))
 	}

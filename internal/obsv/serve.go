@@ -147,6 +147,24 @@ func (g *Registry) WritePrometheus(w io.Writer) {
 				add("dynn_serve_tail_requests_total", "Requests in the p99 tail.", "counter",
 					sl, float64(at.TailCount))
 			}
+			if sv.Online != nil {
+				on := sv.Online
+				add("dynn_serve_online_observed_total", "Completed-request outcomes fed to the replay memory.",
+					"counter", sl, float64(on.Observed))
+				add("dynn_serve_online_mispredicts_total", "Observed outcomes where the pilot mispredicted the path.",
+					"counter", sl, float64(on.Mispredicts))
+				add("dynn_serve_online_retrains_total", "Online pilot retrain stalls.", "counter",
+					sl, float64(on.Retrains))
+				add("dynn_serve_online_retrain_seconds_total", "Simulated host-timeline time spent in retrain stalls.",
+					"counter", sl, float64(on.RetrainNS)/1e9)
+				add("dynn_serve_online_memory_entries", "Live entries in the shared replay ring.", "gauge",
+					sl, float64(on.MemorySize))
+				if r := on.LastWindowRate(); r >= 0 {
+					add("dynn_serve_online_mispredict_window_rate",
+						"Mispredict rate over the most recent completed observation window.",
+						"gauge", sl, r)
+				}
+			}
 		}
 		for _, name := range sortedKeys(s.Phases) {
 			h := s.Phases[name]

@@ -31,13 +31,13 @@ func TestEndToEndPilotOnTreeLSTM(t *testing.T) {
 	res := p.Train(train)
 	t.Logf("train: loss=%.4f wall=%v params=%d", res.FinalLoss, res.WallClock, p.Params())
 
-	acc, mispred, lat, err := p.Evaluate(test)
+	ev, err := p.Evaluate(test)
 	if err != nil {
 		t.Fatalf("Evaluate: %v", err)
 	}
-	t.Logf("test: acc=%.3f mispred=%d/%d latency=%v", acc, mispred, len(test), lat)
-	if acc < 0.6 {
-		t.Errorf("pilot accuracy %.3f too low; learning failed", acc)
+	t.Logf("test: acc=%.3f mispred=%d/%d latency=%v", ev.Accuracy, ev.Mispredictions, len(test), ev.MeanLatency)
+	if ev.Accuracy < 0.6 {
+		t.Errorf("pilot accuracy %.3f too low; learning failed", ev.Accuracy)
 	}
 
 	// Distinct truth paths must be multiple — otherwise the task is trivial.

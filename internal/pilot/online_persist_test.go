@@ -1,0 +1,222 @@
+package pilot
+
+import (
+	"bytes"
+	"testing"
+
+	"dynnoffload/internal/dynn"
+	"dynnoffload/internal/gpusim"
+)
+
+// refineFixture builds a trained pilot plus an example stream for the
+// online-learning tests.
+func refineFixture(t *testing.T) (*Pilot, []*Example) {
+	t.Helper()
+	m := dynn.NewVarLSTM(dynn.VarLSTMConfig{Hidden: 32, Batch: 2, Seed: 12})
+	ctx, err := NewModelContext(m, gpusim.NewCostModel(gpusim.RTXPlatform()), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exs, err := BuildExamples(ctx, FeatureConfig{}, dynn.GenerateSamples(21, 300, 8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Config{Neurons: 32, Epochs: 5, Seed: 13})
+	p.Train(exs[:200])
+	return p, exs
+}
+
+// TestOnlineRetrainedPilotRoundTrip covers the PR's persistence satellite: a
+// pilot that went through online refinement saves with its replay-ring
+// metadata and reloads to bit-identical predictions.
+func TestOnlineRetrainedPilotRoundTrip(t *testing.T) {
+	p, exs := refineFixture(t)
+	online := p.Clone()
+	for step := 0; step < 5; step++ {
+		if _, err := online.Refine(exs[step*16:(step+1)*16], RefineConfig{
+			LR: 0.002, Momentum: 0.9, Epochs: 2, Seed: uint64(step + 1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta := map[string]string{
+		"online.memory_cap":        "256",
+		"online.observed":          "80",
+		"online.retrains":          "5",
+		"online.training_interval": "16",
+	}
+	var buf bytes.Buffer
+	if err := online.SaveWithMeta(&buf, meta); err != nil {
+		t.Fatal(err)
+	}
+	loaded, gotMeta, err := LoadWithMeta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotMeta) != len(meta) {
+		t.Fatalf("meta round-trip: got %v, want %v", gotMeta, meta)
+	}
+	for k, v := range meta {
+		if gotMeta[k] != v {
+			t.Fatalf("meta[%q] = %q, want %q", k, gotMeta[k], v)
+		}
+	}
+	for _, e := range exs[200:240] {
+		a, _, err := online.Predict(e.Base, e.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := loaded.Predict(e.Base, e.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("online-retrained prediction diverged after load at dim %d", i)
+			}
+		}
+		ra, err := online.Resolve(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := loaded.Resolve(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Path.Key != rb.Path.Key {
+			t.Fatal("online-retrained resolution diverged after load")
+		}
+	}
+	// Plain Load still reads a file with metadata, dropping it.
+	buf.Reset()
+	if err := online.SaveWithMeta(&buf, meta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err != nil {
+		t.Fatalf("Load over meta-bearing file: %v", err)
+	}
+}
+
+// TestRefineDeterministicAndScalersFrozen pins Refine's two contracts: a
+// fixed (seed, minibatch) pair refines to bit-identical weights, and the
+// feature/label scalers never move (the normalized path-matching space stays
+// as Train left it).
+func TestRefineDeterministicAndScalersFrozen(t *testing.T) {
+	p, exs := refineFixture(t)
+	probe := exs[250]
+	base, _, err := p.Predict(probe.Base, probe.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refine := func() *Pilot {
+		c := p.Clone()
+		if _, err := c.Refine(exs[:32], RefineConfig{LR: 0.002, Momentum: 0.9, Epochs: 3, Seed: 5}); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := refine(), refine()
+	pa, _, err := a.Predict(probe.Base, probe.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _, err := b.Predict(probe.Base, probe.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("same-seed Refine diverged at dim %d", i)
+		}
+	}
+
+	// The refined pilot moved away from the base...
+	moved := false
+	for i := range pa {
+		if pa[i] != base[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("Refine changed nothing")
+	}
+	// ...but the base pilot itself did not (Clone independence).
+	again, _, err := p.Predict(probe.Base, probe.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if again[i] != base[i] {
+			t.Fatal("refining a clone mutated the base pilot")
+		}
+	}
+
+	// HeadOnly refinement also moves predictions, deterministically.
+	h := p.Clone()
+	if _, err := h.Refine(exs[:32], RefineConfig{LR: 0.01, Momentum: 0.9, Epochs: 5, Seed: 6, HeadOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	ph, _, err := h.Predict(probe.Base, probe.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved = false
+	for i := range ph {
+		if ph[i] != base[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("HeadOnly Refine changed nothing")
+	}
+
+	// Refine on an untrained pilot fails; an empty minibatch is a no-op.
+	if _, err := New(Config{Neurons: 8}).Refine(exs[:4], RefineConfig{LR: 0.01}); err == nil {
+		t.Error("Refine before Train must fail")
+	}
+	if _, err := p.Clone().Refine(nil, RefineConfig{LR: 0.01}); err != nil {
+		t.Errorf("empty Refine must be a no-op, got %v", err)
+	}
+}
+
+// TestEvaluateConfusion pins the per-path confusion summary: pair counts sum
+// to the mispredictions and TopConfusions orders deterministically.
+func TestEvaluateConfusion(t *testing.T) {
+	p, exs := refineFixture(t)
+	test := exs[200:]
+	ev, err := p.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Samples != len(test) {
+		t.Fatalf("Samples = %d, want %d", ev.Samples, len(test))
+	}
+	var sum int
+	for _, c := range ev.Confusion {
+		if c.Count <= 0 {
+			t.Fatalf("confusion pair with non-positive count: %+v", c)
+		}
+		if c.TruthKey == c.PredictedKey {
+			t.Fatalf("confusion pair on a correct prediction: %+v", c)
+		}
+		sum += c.Count
+	}
+	if sum != ev.Mispredictions {
+		t.Fatalf("confusion counts sum to %d, want %d mispredictions", sum, ev.Mispredictions)
+	}
+	top := ev.TopConfusions(3)
+	if len(top) > 3 {
+		t.Fatalf("TopConfusions(3) returned %d pairs", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatal("TopConfusions not sorted by count")
+		}
+	}
+	if len(ev.Confusion) > 0 && len(top) == 0 {
+		t.Fatal("TopConfusions dropped everything")
+	}
+}

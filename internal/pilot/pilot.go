@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -206,6 +207,75 @@ func (p *Pilot) Train(examples []*Example) TrainResult {
 // Trained reports whether Train has fit the pilot's scalers and MLPs.
 func (p *Pilot) Trained() bool { return p.featMean != nil }
 
+// Clone returns a deep copy of the pilot: its own MLPs, scaler copies, and a
+// fresh normalized-label cache. The online learner refines a clone so the
+// serving feedback loop never mutates the offline-trained pilot the training
+// engines share.
+func (p *Pilot) Clone() *Pilot {
+	c := &Pilot{Cfg: p.Cfg}
+	for i, m := range p.mlps {
+		c.mlps[i] = m.Clone()
+	}
+	c.featMean = append([]float64(nil), p.featMean...)
+	c.featStd = append([]float64(nil), p.featStd...)
+	c.labelMean = append([]float64(nil), p.labelMean...)
+	c.labelStd = append([]float64(nil), p.labelStd...)
+	if p.Trained() {
+		c.normLabels = map[*ModelContext][][]float64{}
+	}
+	return c
+}
+
+// RefineConfig parameterizes one Refine pass (online minibatch retraining).
+type RefineConfig struct {
+	LR       float64
+	Momentum float64
+	Epochs   int
+	Seed     uint64 // shuffles the minibatch order; vary per retrain
+	// HeadOnly updates only each MLP's output layer, leaving the shared
+	// representation frozen — the per-tenant adapter setting.
+	HeadOnly bool
+}
+
+// Refine runs seeded SGD over examples WITHOUT refitting the scalers: the
+// feature/label standardization (and therefore the normalized-label path
+// matching space) stays exactly as Train left it, so Resolve stays consistent
+// across incremental updates. This is the online-learning training step; it
+// returns the mean pre-update loss of the final epoch. Refine must not run
+// concurrently with Resolve — the serving loops call it serially between
+// dispatches. It fails with ErrNotTrained before Train.
+func (p *Pilot) Refine(examples []*Example, rc RefineConfig) (float64, error) {
+	if !p.Trained() {
+		return 0, fmt.Errorf("pilot: Refine before Train: %w", ErrNotTrained)
+	}
+	if len(examples) == 0 {
+		return 0, nil
+	}
+	if rc.Epochs <= 0 {
+		rc.Epochs = 1
+	}
+	from := 0
+	if rc.HeadOnly {
+		from = len(p.mlps[0].Layers) - 1
+	}
+	rng := mathx.NewRNG(rc.Seed ^ 0x0b5e55ed)
+	fbuf := make([]float64, len(p.featMean))
+	lbuf := make([]float64, len(p.labelMean))
+	var lastLoss float64
+	for epoch := 0; epoch < rc.Epochs; epoch++ {
+		perm := rng.Perm(len(examples))
+		var lossSum float64
+		for _, idx := range perm {
+			e := examples[idx]
+			normalize(e.Features, p.featMean, p.featStd, fbuf)
+			normalize(e.Label, p.labelMean, p.labelStd, lbuf)
+			lossSum += p.mlps[int(e.Base)].TrainStepFrom(fbuf, lbuf, rc.LR, rc.Momentum, from)
+		}
+		lastLoss = lossSum / float64(len(examples))
+	}
+	return lastLoss, nil
+}
+
 // Predict runs one inference: it returns the denormalized label vector (the
 // execution-block descriptor rows) and the measured inference latency — the
 // paper's ~30 µs overhead per training sample (§VI-C). It fails with
@@ -302,30 +372,88 @@ func (p *Pilot) Resolve(e *Example) (Resolution, error) {
 	return res, nil
 }
 
+// ConfusedPair is one (truth path, predicted path) mis-prediction bucket.
+type ConfusedPair struct {
+	TruthKey     string
+	PredictedKey string // "" when the pilot mapped to no path at all
+	Count        int
+}
+
+// EvalReport summarizes one Evaluate pass: accuracy, the mis-prediction
+// count, the mean inference latency, and the per-path confusion summary —
+// every (truth, predicted) pair the pilot got wrong, most frequent first.
+type EvalReport struct {
+	Samples        int
+	Accuracy       float64
+	Mispredictions int
+	MeanLatency    time.Duration
+	// Confusion lists the mis-predicted path pairs sorted by count
+	// descending (ties broken by truth then predicted key, so the order is
+	// deterministic). Use TopConfusions for the report-sized head.
+	Confusion []ConfusedPair
+}
+
+// TopConfusions returns the k most frequent confused pairs (all of them when
+// k <= 0 or exceeds the set).
+func (r EvalReport) TopConfusions(k int) []ConfusedPair {
+	if k <= 0 || k > len(r.Confusion) {
+		k = len(r.Confusion)
+	}
+	return r.Confusion[:k]
+}
+
 // Evaluate measures prediction accuracy over examples: a prediction is
-// correct when the mapped path equals the ground-truth path. It returns the
-// accuracy, the mis-prediction count, and the mean inference latency. It
-// fails with ErrNotTrained before Train.
-func (p *Pilot) Evaluate(examples []*Example) (accuracy float64, mispredictions int, meanLatency time.Duration, err error) {
+// correct when the mapped path equals the ground-truth path. Beyond the
+// accuracy and mis-prediction count it reports which path pairs the pilot
+// confuses, so "53% mispredicts on Tree-CNN" has a shape, not just a number.
+// It fails with ErrNotTrained before Train.
+func (p *Pilot) Evaluate(examples []*Example) (EvalReport, error) {
+	rep := EvalReport{Samples: len(examples)}
 	if len(examples) == 0 {
-		return 0, 0, 0, nil
+		return rep, nil
 	}
 	var correct int
 	var totalLatNS int64
+	type pair struct{ truth, pred string }
+	confused := map[pair]int{}
 	for _, e := range examples {
 		res, err := p.Resolve(e)
 		if err != nil {
-			return 0, 0, 0, err
+			return EvalReport{}, err
 		}
 		totalLatNS += res.InferNS
 		if res.Path != nil && res.Path.Key == e.TruthKey {
 			correct++
-		} else {
-			mispredictions++
+			continue
 		}
+		rep.Mispredictions++
+		pr := ""
+		if res.Path != nil {
+			pr = res.Path.Key
+		}
+		confused[pair{truth: e.TruthKey, pred: pr}]++
 	}
-	return float64(correct) / float64(len(examples)), mispredictions,
-		time.Duration(totalLatNS / int64(len(examples))), nil
+	pairs := make([]pair, 0, len(confused))
+	for k := range confused {
+		pairs = append(pairs, k) //dynnlint:ignore determinism pairs are sorted immediately below
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if confused[pairs[i]] != confused[pairs[j]] {
+			return confused[pairs[i]] > confused[pairs[j]]
+		}
+		if pairs[i].truth != pairs[j].truth {
+			return pairs[i].truth < pairs[j].truth
+		}
+		return pairs[i].pred < pairs[j].pred
+	})
+	for _, k := range pairs {
+		rep.Confusion = append(rep.Confusion, ConfusedPair{
+			TruthKey: k.truth, PredictedKey: k.pred, Count: confused[k],
+		})
+	}
+	rep.Accuracy = float64(correct) / float64(len(examples))
+	rep.MeanLatency = time.Duration(totalLatNS / int64(len(examples)))
+	return rep, nil
 }
 
 // MappingOverhead measures the output→path mapping cost (§VI-C: 10–15 µs)

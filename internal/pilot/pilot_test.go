@@ -155,7 +155,7 @@ func TestUntrainedPilotErrors(t *testing.T) {
 	if _, err := p.Resolve(exs[0]); !errors.Is(err, ErrNotTrained) {
 		t.Errorf("Resolve err = %v, want ErrNotTrained", err)
 	}
-	if _, _, _, err := p.Evaluate(exs); !errors.Is(err, ErrNotTrained) {
+	if _, err := p.Evaluate(exs); !errors.Is(err, ErrNotTrained) {
 		t.Errorf("Evaluate err = %v, want ErrNotTrained", err)
 	}
 	if _, err := p.MappingOverhead(exs[0]); !errors.Is(err, ErrNotTrained) {
@@ -180,12 +180,12 @@ func TestGenerализationLeaveOut(t *testing.T) {
 	exB, _ := BuildExamples(ctxB, FeatureConfig{}, samples[200:])
 	p := New(Config{Neurons: 32, Epochs: 4, Seed: 1})
 	p.Train(exA)
-	acc, mis, _, err := p.Evaluate(exB)
+	ev, err := p.Evaluate(exB)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if acc < 0 || acc > 1 || mis > len(exB) {
-		t.Errorf("evaluation out of range: acc=%v mis=%d", acc, mis)
+	if ev.Accuracy < 0 || ev.Accuracy > 1 || ev.Mispredictions > len(exB) {
+		t.Errorf("evaluation out of range: acc=%v mis=%d", ev.Accuracy, ev.Mispredictions)
 	}
 }
 

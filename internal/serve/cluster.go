@@ -8,6 +8,7 @@ import (
 	"dynnoffload/internal/core"
 	"dynnoffload/internal/gpusim"
 	"dynnoffload/internal/obsv"
+	"dynnoffload/internal/online"
 	"dynnoffload/internal/pilot"
 )
 
@@ -179,6 +180,17 @@ func RunCluster(b *ClusterBackend, cfg ClusterConfig) (*ClusterReport, error) {
 		scaleWindow = DefaultScaleWindow
 	}
 
+	var learner *online.Learner
+	if cfg.Online.Enabled {
+		// The replicas share one pilot (the facade hands every engine the
+		// same trained instance), so the learner adapts one shared clone and
+		// every replica's dispatches resolve through it.
+		learner, err = online.New(cfg.Online, b.Engines[0].Pilot, len(cfg.Tenants))
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	flights := make([]*obsv.FlightRecorder, replicas)
 	for r := range flights {
 		flights[r] = obsv.NewFlightRecorder(r, cfg.Flight)
@@ -198,6 +210,7 @@ func RunCluster(b *ClusterBackend, cfg ClusterConfig) (*ClusterReport, error) {
 		active:      replicas,
 		minActive:   minActive,
 		scaleWindow: scaleWindow,
+		learner:     learner,
 	}
 	if cfg.ScaleUpQueueNS > 0 {
 		s.active = minActive
@@ -248,6 +261,9 @@ type clusterLoop struct {
 	scaleWindow int
 	waits       []int64 // recent dispatch queue waits (scale-up signal)
 	events      []ScaleEvent
+
+	// learner is the online feedback loop; nil when Config.Online is off.
+	learner *online.Learner
 }
 
 // run consumes the sorted arrival stream.
@@ -355,6 +371,13 @@ func (s *clusterLoop) dispatch(r int) error {
 	for i, req := range batch {
 		exs[i] = req.ex
 	}
+	var pilots []*pilot.Pilot
+	if s.learner != nil {
+		pilots = make([]*pilot.Pilot, len(batch))
+		for i, req := range batch {
+			pilots[i] = s.learner.PilotFor(req.tenant)
+		}
+	}
 	base := s.slots.take(len(batch))
 	eng := s.backend.Engines[r]
 	results, err := eng.RunBatch(exs, core.EpochOptions{
@@ -363,6 +386,7 @@ func (s *clusterLoop) dispatch(r int) error {
 		Tracer:      s.cfg.Tracer,
 		TraceBase:   base,
 		ClockBaseNS: s.now,
+		Pilots:      pilots,
 	})
 	for _, req := range batch {
 		s.ledgers[r].Free(req.id)
@@ -391,7 +415,7 @@ func (s *clusterLoop) dispatch(r int) error {
 		waitNS := s.now - req.arrivalNS
 		e2e := done - req.arrivalNS
 		a.complete(e2e, waitNS, req.deadlineNS < done,
-			attribution(waitNS, req.quotaNS, serviceNS, results[i].Breakdown))
+			attribution(waitNS, req.quotaNS, req.retrainNS, serviceNS, results[i].Breakdown))
 		s.completed[r]++
 		if s.homes[req.tenant] == r {
 			s.homeServed[req.tenant]++
@@ -407,7 +431,36 @@ func (s *clusterLoop) dispatch(r int) error {
 		recordCompletion(s.flights[r], done, req, name, e2e, results[i].FaultCounters)
 		s.observeWait(waitNS)
 	}
+	if err := s.learn(batch, results); err != nil {
+		return err
+	}
 	s.scaleUp()
+	return nil
+}
+
+// learn mirrors the single-device loop's feedback step on the cluster's host
+// timeline: outcomes feed the learner in dispatch-processing order (the
+// run's deterministic serial order), and a retrain stall advances the host
+// clock — the replicas keep computing, but no new batch dispatches until the
+// refit finishes — crediting every queued request's pilot_retrain component.
+func (s *clusterLoop) learn(batch []*request, results []core.SampleResult) error {
+	if s.learner == nil {
+		return nil
+	}
+	var stallNS int64
+	for i, req := range batch {
+		ns, err := s.learner.Observe(req.tenant, req.ex, results[i].Mispredicted)
+		if err != nil {
+			return fmt.Errorf("serve: online retrain at t=%dns: %w", s.now, err)
+		}
+		stallNS += ns
+	}
+	if stallNS > 0 {
+		s.now += stallNS
+		for _, q := range s.queued {
+			q.retrainNS += stallNS
+		}
+	}
 	return nil
 }
 
@@ -490,7 +543,7 @@ func (s *clusterLoop) report() *ClusterReport {
 		return peak
 	}
 	rep := &ClusterReport{
-		Report:      *buildReport(s.cfg.Tenants, s.acc, s.tenantRecs, s.rec, s.batches, s.makespanNS, highWater, ownerPeak),
+		Report:      *buildReport(s.cfg.Tenants, s.acc, s.tenantRecs, s.rec, s.batches, s.makespanNS, highWater, ownerPeak, s.learner.Stats()),
 		ScaleEvents: s.events,
 		PeakActive:  s.peakActive,
 	}

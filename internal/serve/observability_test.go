@@ -154,10 +154,10 @@ func TestClusterPrometheusAttribution(t *testing.T) {
 		}
 	}
 	// The exposed families themselves obey the sum invariant: per tenant, the
-	// nine component samples of attribution_seconds_total are emitted (one per
+	// ten component samples of attribution_seconds_total are emitted (one per
 	// taxonomy name).
-	if got := strings.Count(out, `dynn_serve_attribution_seconds_total{run="serve/alpha"`); got != 9 {
-		t.Errorf("alpha attribution family has %d samples, want 9", got)
+	if got := strings.Count(out, `dynn_serve_attribution_seconds_total{run="serve/alpha"`); got != 10 {
+		t.Errorf("alpha attribution family has %d samples, want 10", got)
 	}
 }
 

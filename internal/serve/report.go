@@ -74,7 +74,8 @@ func exactQuantile(sorted []int64, q float64) int64 {
 // report assembles the run's summaries from the single-device loop's state.
 func (s *loop) report() *Report {
 	rep := buildReport(s.cfg.Tenants, s.acc, s.tenantRecs, s.rec,
-		s.batches, s.now, s.ledger.HighWater(), s.ledger.OwnerHighWater)
+		s.batches, s.now, s.ledger.HighWater(), s.ledger.OwnerHighWater,
+		s.learner.Stats())
 	rep.Flights = collectFlights([]*obsv.FlightRecorder{s.flight}, s.now)
 	return rep
 }
@@ -83,7 +84,7 @@ func (s *loop) report() *Report {
 // attaches the stats to the live recorders. ownerPeak reports one tenant's
 // reservation high-water; the cluster scheduler passes a max across its
 // replica ledgers, the single-device loop its one ledger's method.
-func buildReport(tenants []TenantConfig, acc []tenantAcc, tenantRecs []*obsv.Recorder, rec *obsv.Recorder, batches, makespanNS, highWater int64, ownerPeak func(string) int64) *Report {
+func buildReport(tenants []TenantConfig, acc []tenantAcc, tenantRecs []*obsv.Recorder, rec *obsv.Recorder, batches, makespanNS, highWater int64, ownerPeak func(string) int64, online *obsv.OnlineStats) *Report {
 	rep := &Report{MakespanNS: makespanNS, DeviceHighWater: highWater}
 	var allLat []int64
 	var allAttribs []obsv.AttributionComponents
@@ -125,6 +126,7 @@ func buildReport(tenants []TenantConfig, acc []tenantAcc, tenantRecs []*obsv.Rec
 	}
 	rep.Total.Batches = batches
 	rep.Total.QuotaPeakBytes = highWater
+	rep.Total.Online = online
 	if batches > 0 {
 		rep.MeanBatchSize = float64(rep.Total.Completed) / float64(batches)
 	}

@@ -23,6 +23,7 @@ import (
 	"dynnoffload/internal/gpusim"
 	"dynnoffload/internal/mathx"
 	"dynnoffload/internal/obsv"
+	"dynnoffload/internal/online"
 	"dynnoffload/internal/pilot"
 )
 
@@ -84,6 +85,11 @@ type Config struct {
 	// lifecycle events, snapshotted on SLO breach, fault-ladder degradation,
 	// or engine capacity exhaustion). The zero value disables it.
 	Flight obsv.FlightConfig
+	// Online closes the serve→pilot feedback loop: completed requests feed a
+	// bounded replay memory and the pilot retrains in-loop on seeded
+	// minibatches (per-tenant adapters optional). The zero value disables it,
+	// reproducing the learning-free serving behavior byte-for-byte.
+	Online online.Config
 }
 
 // Backend is what the serving layer runs requests against.
@@ -111,6 +117,9 @@ type request struct {
 	// (0 when not blocked); quotaNS accumulates the blocked time at dispatch.
 	quotaSinceNS int64
 	quotaNS      int64
+	// retrainNS accumulates the online-learning retrain stalls this request
+	// sat queued behind, credited to the pilot_retrain SLO component.
+	retrainNS int64
 }
 
 // TenantReport is one tenant's serving summary.
@@ -190,11 +199,20 @@ func Run(b *Backend, cfg Config) (*Report, error) {
 		cfg.Registry.Register(tenantRecs[t])
 	}
 
+	var learner *online.Learner
+	if cfg.Online.Enabled {
+		learner, err = online.New(cfg.Online, b.Engine.Pilot, len(cfg.Tenants))
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	s := &loop{
 		cfg: cfg, backend: b, ledger: ledger, maxBatch: maxBatch,
 		starveAge: starveAge, rec: rec, tenantRecs: tenantRecs,
-		acc:    make([]tenantAcc, len(cfg.Tenants)),
-		flight: obsv.NewFlightRecorder(0, cfg.Flight),
+		acc:     make([]tenantAcc, len(cfg.Tenants)),
+		flight:  obsv.NewFlightRecorder(0, cfg.Flight),
+		learner: learner,
 	}
 	for t := range s.acc {
 		mq := cfg.Tenants[t].MaxQueue
@@ -229,6 +247,11 @@ type loop struct {
 	// never retains its argument slice past the call, and a sweep replays
 	// thousands of dispatches, so one buffer serves the whole run.
 	exs []*pilot.Example
+	// learner is the online feedback loop; nil when Config.Online is off.
+	learner *online.Learner
+	// pilots mirrors exs when the learner is active: per-request pilot
+	// overrides (tenant adapter or refined shared pilot) for RunBatch.
+	pilots []*pilot.Pilot
 }
 
 // run consumes the sorted arrival stream.
@@ -293,12 +316,19 @@ func (s *loop) dispatch() error {
 	for _, r := range batch {
 		s.exs = append(s.exs, r.ex)
 	}
+	s.pilots = s.pilots[:0]
+	if s.learner != nil {
+		for _, r := range batch {
+			s.pilots = append(s.pilots, s.learner.PilotFor(r.tenant))
+		}
+	}
 	base := s.slots.take(len(batch))
 	results, err := s.backend.Engine.RunBatch(s.exs, core.EpochOptions{
 		Workers:   s.cfg.Workers,
 		Recorder:  s.rec,
 		Tracer:    s.cfg.Tracer,
 		TraceBase: base,
+		Pilots:    s.pilots,
 	})
 	for _, r := range batch {
 		s.ledger.Free(r.id)
@@ -321,7 +351,7 @@ func (s *loop) dispatch() error {
 		waitNS := s.now - r.arrivalNS
 		e2e := done - r.arrivalNS
 		a.complete(e2e, waitNS, r.deadlineNS < done,
-			attribution(waitNS, r.quotaNS, serviceNS, results[i].Breakdown))
+			attribution(waitNS, r.quotaNS, r.retrainNS, serviceNS, results[i].Breakdown))
 		tr := s.tenantRecs[r.tenant]
 		tr.ObservePhase(PhaseQueue, waitNS)
 		tr.ObservePhase(PhaseE2E, e2e)
@@ -330,6 +360,33 @@ func (s *loop) dispatch() error {
 		recordCompletion(s.flight, done, r, name, e2e, results[i].FaultCounters)
 	}
 	s.now = done
+	return s.learn(batch, results)
+}
+
+// learn feeds the completed batch's outcomes to the online learner in
+// completion order and charges any retrain stall to the host timeline: the
+// clock advances past the stall and every currently queued request is
+// credited the stall time in its pilot_retrain attribution component.
+// (Requests arriving mid-stall simply see it as queue time — the
+// decomposition stays exact either way.) No-op without a learner.
+func (s *loop) learn(batch []*request, results []core.SampleResult) error {
+	if s.learner == nil {
+		return nil
+	}
+	var stallNS int64
+	for i, r := range batch {
+		ns, err := s.learner.Observe(r.tenant, r.ex, results[i].Mispredicted)
+		if err != nil {
+			return fmt.Errorf("serve: online retrain at t=%dns: %w", s.now, err)
+		}
+		stallNS += ns
+	}
+	if stallNS > 0 {
+		s.now += stallNS
+		for _, q := range s.queued {
+			q.retrainNS += stallNS
+		}
+	}
 	return nil
 }
 

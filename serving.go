@@ -6,6 +6,7 @@ import (
 	"dynnoffload/internal/core"
 	"dynnoffload/internal/dynn"
 	"dynnoffload/internal/obsv"
+	"dynnoffload/internal/online"
 	"dynnoffload/internal/serve"
 )
 
@@ -39,6 +40,20 @@ type (
 	FlightSnapshot        = obsv.FlightSnapshot
 	ServeFlightError      = serve.FlightError
 	RequestView           = obsv.RequestView
+)
+
+// Re-exported online-learning types. OnlineConfig (ServeConfig.Online /
+// ClusterConfig.Online, or WithOnlineLearning on a cluster) closes the
+// serve→pilot feedback loop: completed requests feed a bounded replay memory
+// and the pilot retrains in-loop every TrainingInterval observations on
+// seeded minibatches, with optional per-tenant adapter pilots. Retrain stalls
+// are charged to the host timeline and attributed to the pilot_retrain SLO
+// component. OnlineStats rides in ServeStats.Online with the run's retrain
+// counts and windowed mispredict-rate trajectory.
+type (
+	OnlineConfig     = online.Config
+	OnlineStats      = obsv.OnlineStats
+	OnlineWindowRate = obsv.OnlineWindowRate
 )
 
 // AssembleRequests groups request-stamped spans (Cluster.Serve traces) into
